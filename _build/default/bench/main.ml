@@ -1,0 +1,179 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per paper experiment
+      (fig8a..fig8h, fig11, e2e), each timing one representative simulation
+      point of that experiment, so `dune exec bench/main.exe` doubles as a
+      performance regression test of the compiler+simulator stack.
+
+   2. Full reproduction — every figure's size sweep and the end-to-end
+      table, printed with the same rows/series the paper reports. The
+      headline numbers land in EXPERIMENTS.md. *)
+
+open Bechamel
+open Toolkit
+module T = Msccl_topology
+module A = Msccl_algorithms
+module H = Msccl_harness
+open Msccl_core
+
+let sim ?(max_tiles = 4) topo ir buffer_bytes =
+  (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles ~check_occupancy:false
+     ir)
+    .Simulator.time
+
+let mib = 1024. *. 1024.
+
+(* Representative simulation points, one per experiment. IRs are compiled
+   once, outside the timed region. *)
+let micro_tests () =
+  let ndv4_1 = T.Presets.ndv4 ~nodes:1 in
+  let ndv4_2 = T.Presets.ndv4 ~nodes:2 in
+  let ndv4_3 = T.Presets.ndv4 ~nodes:3 in
+  let ndv4_4 = T.Presets.ndv4 ~nodes:4 in
+  let dgx2_1 = T.Presets.dgx2 ~nodes:1 in
+  let dgx2_2 = T.Presets.dgx2 ~nodes:2 in
+  let dgx1 = T.Presets.dgx1 () in
+  let ring8 =
+    A.Ring_allreduce.ir ~proto:T.Protocol.LL ~instances:8 ~num_ranks:8 ()
+  in
+  let ring16 =
+    A.Ring_allreduce.ir ~proto:T.Protocol.LL ~instances:8 ~num_ranks:16 ()
+  in
+  let hier_a100 =
+    A.Hierarchical_allreduce.ir ~proto:T.Protocol.LL128 ~instances:2 ~nodes:2
+      ~gpus_per_node:8 ()
+  in
+  let hier_v100 =
+    A.Hierarchical_allreduce.ir ~proto:T.Protocol.LL128 ~instances:2 ~nodes:2
+      ~gpus_per_node:16 ~verify:false ()
+  in
+  let two_step_a100 =
+    A.Two_step_alltoall.ir ~proto:T.Protocol.Simple ~verify:false ~nodes:4
+      ~gpus_per_node:8 ()
+  in
+  let two_step_v100 =
+    A.Two_step_alltoall.ir ~proto:T.Protocol.Simple ~verify:false ~nodes:2
+      ~gpus_per_node:16 ()
+  in
+  let a2n_a100 =
+    A.Alltonext.ir ~proto:T.Protocol.Simple ~instances:4 ~verify:false
+      ~nodes:3 ~gpus_per_node:8 ()
+  in
+  let a2n_v100 =
+    A.Alltonext.ir ~proto:T.Protocol.Simple ~instances:4 ~verify:false
+      ~nodes:2 ~gpus_per_node:16 ()
+  in
+  let sccl_ag = A.Allgather_sccl.ir ~proto:T.Protocol.Sccl () in
+  let allpairs =
+    A.Allpairs_allreduce.ir ~proto:T.Protocol.LL ~instances:2 ~num_ranks:8 ()
+  in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [
+    stage "fig8a/ring-LL-r8@1MB" (fun () -> sim ndv4_1 ring8 mib);
+    stage "fig8b/ring-LL-r8@1MB" (fun () -> sim dgx2_1 ring16 mib);
+    stage "fig8c/hier-LL128-r2@4MB" (fun () -> sim ndv4_2 hier_a100 (4. *. mib));
+    stage "fig8d/hier-LL128-r2@4MB" (fun () -> sim dgx2_2 hier_v100 (4. *. mib));
+    stage "fig8e/two-step@16MB" (fun () -> sim ndv4_4 two_step_a100 (16. *. mib));
+    stage "fig8f/two-step@16MB" (fun () -> sim dgx2_2 two_step_v100 (16. *. mib));
+    stage "fig8g/alltonext-r4@16MB" (fun () -> sim ndv4_3 a2n_a100 (16. *. mib));
+    stage "fig8h/alltonext-r4@16MB" (fun () -> sim dgx2_2 a2n_v100 (16. *. mib));
+    stage "fig11/sccl-allgather@1MB" (fun () -> sim ~max_tiles:64 dgx1 sccl_ag mib);
+    stage "e2e/allpairs-LL-r2@3MB" (fun () -> sim ndv4_1 allpairs (3. *. mib));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  Printf.printf "== Bechamel micro-benchmarks (simulation cost per experiment point) ==\n";
+  Printf.printf "%-28s %14s %10s\n" "experiment" "time/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (e :: _) -> e
+            | Some [] | None -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else Printf.sprintf "%.2f us" (ns /. 1e3)
+          in
+          Printf.printf "%-28s %14s %10.4f\n%!" (Test.Elt.name elt) pretty r2)
+        (Test.elements test))
+    tests;
+  print_newline ()
+
+let run_figures () =
+  List.iter
+    (fun (_, f) ->
+      let t0 = Unix.gettimeofday () in
+      let fig = f () in
+      H.Report.print Format.std_formatter fig;
+      print_string (H.Report.summarize fig);
+      Printf.printf "  (regenerated in %.1fs)\n\n%!"
+        (Unix.gettimeofday () -. t0))
+    H.Figures.all
+
+let run_ablations () =
+  List.iter
+    (fun (_, f) ->
+      let fig = f () in
+      H.Report.print Format.std_formatter fig;
+      print_string (H.Report.summarize fig);
+      print_newline ())
+    H.Ablations.all
+
+let run_tuner () =
+  Printf.printf "== tuner: automatic size-range selection (paper §6) ==\n";
+  let topo1 = T.Presets.ndv4 ~nodes:1 in
+  Format.printf "AllReduce, %a@." Msccl_topology.Topology.pp topo1;
+  Format.printf "%a@." H.Tuner.pp_table
+    (H.Tuner.tune ~topo:topo1
+       ~nccl:(Msccl_baselines.Nccl_model.allreduce topo1)
+       ~candidates:(H.Tuner.allreduce_candidates topo1)
+       ());
+  let topo4 = T.Presets.ndv4 ~nodes:4 in
+  Format.printf "AllToAll, %a@." Msccl_topology.Topology.pp topo4;
+  Format.printf "%a@." H.Tuner.pp_table
+    (H.Tuner.tune ~topo:topo4
+       ~nccl:(Msccl_baselines.Nccl_model.alltoall topo4)
+       ~candidates:(H.Tuner.alltoall_candidates topo4)
+       ~sizes:(H.Sweep.sizes_coarse ~from:(H.Sweep.kib 64.) ~upto:(H.Sweep.gib 1.))
+       ())
+
+let run_e2e () =
+  let rows = H.E2e.run () in
+  H.E2e.print Format.std_formatter rows
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  match which with
+  | Some "micro" -> run_micro ()
+  | Some "figures" -> run_figures ()
+  | Some "ablations" -> run_ablations ()
+  | Some "tuner" -> run_tuner ()
+  | Some "e2e" -> run_e2e ()
+  | Some other ->
+      Printf.eprintf
+        "unknown selector %S (expected micro|figures|ablations|tuner|e2e)\n"
+        other;
+      exit 1
+  | None ->
+      run_micro ();
+      run_figures ();
+      run_ablations ();
+      run_tuner ();
+      run_e2e ()

@@ -1,0 +1,381 @@
+(* msccl — command-line front end for the MSCCLang compiler, verifier and
+   cluster simulator.
+
+   Subcommands:
+     list        show available algorithms and topologies
+     compile     compile an algorithm to MSCCL-IR XML
+     verify      check an MSCCL-IR XML file
+     show        pretty-print an MSCCL-IR XML file
+     simulate    run an algorithm or XML file on a simulated cluster
+     figures     regenerate the paper's figures *)
+
+open Cmdliner
+module T = Msccl_topology
+module H = Msccl_harness
+open Msccl_core
+
+let ok = 0
+
+let user_error = 1
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument definitions                                         *)
+(* ------------------------------------------------------------------ *)
+
+let algo_arg =
+  let doc = "Algorithm name (see $(b,msccl list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ALGO" ~doc)
+
+let nodes_arg =
+  let doc = "Number of nodes." in
+  Arg.(value & opt int 1 & info [ "nodes"; "n" ] ~docv:"N" ~doc)
+
+let gpus_arg =
+  let doc = "GPUs per node." in
+  Arg.(value & opt int 8 & info [ "gpus"; "g" ] ~docv:"G" ~doc)
+
+let channels_arg =
+  let doc = "Channels to distribute logical rings over." in
+  Arg.(value & opt int 1 & info [ "channels"; "c" ] ~docv:"CH" ~doc)
+
+let instances_arg =
+  let doc = "Whole-program parallelization factor (the figures' r)." in
+  Arg.(value & opt int 1 & info [ "instances"; "r" ] ~docv:"R" ~doc)
+
+let chunk_factor_arg =
+  let doc = "Chunk granularity where the algorithm supports it." in
+  Arg.(value & opt int 1 & info [ "chunk-factor" ] ~docv:"C" ~doc)
+
+let proto_conv =
+  let parse s =
+    match T.Protocol.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  Arg.conv (parse, T.Protocol.pp)
+
+let proto_arg =
+  let doc = "Protocol: Simple, LL, LL128 or SCCL." in
+  Arg.(value & opt proto_conv T.Protocol.Simple
+       & info [ "proto"; "p" ] ~docv:"PROTO" ~doc)
+
+let no_verify_arg =
+  let doc = "Skip postcondition verification (faster for large systems)." in
+  Arg.(value & flag & info [ "no-verify" ] ~doc)
+
+let topo_arg =
+  let doc = "Topology: ndv4:<nodes>, dgx2:<nodes>, dgx1, custom:<n>:<g>." in
+  Arg.(value & opt string "ndv4:1" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+
+let size_conv =
+  let parse s =
+    let num, unit_ =
+      let n = String.length s in
+      let split =
+        let rec go i =
+          if i < n && (s.[i] = '.' || (s.[i] >= '0' && s.[i] <= '9')) then
+            go (i + 1)
+          else i
+        in
+        go 0
+      in
+      (String.sub s 0 split, String.sub s split (n - split))
+    in
+    match
+      ( float_of_string_opt num,
+        String.uppercase_ascii (String.trim unit_) )
+    with
+    | Some v, ("" | "B") -> Ok v
+    | Some v, ("K" | "KB") -> Ok (v *. 1024.)
+    | Some v, ("M" | "MB") -> Ok (v *. 1024. *. 1024.)
+    | Some v, ("G" | "GB") -> Ok (v *. 1024. *. 1024. *. 1024.)
+    | _ -> Error (`Msg (Printf.sprintf "cannot parse size %S" s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.pp_print_string fmt (H.Sweep.pretty v))
+
+let size_arg =
+  let doc = "Buffer size, e.g. 32MB." in
+  Arg.(value & opt size_conv (1024. *. 1024.) & info [ "size"; "s" ] ~docv:"SIZE" ~doc)
+
+let build_params nodes gpus channels instances proto chunk_factor no_verify =
+  {
+    H.Registry.nodes;
+    gpus_per_node = gpus;
+    channels;
+    instances;
+    proto;
+    chunk_factor;
+    verify = not no_verify;
+  }
+
+let build_ir name params =
+  match H.Registry.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S; try: %s" name
+           (String.concat ", " (H.Registry.names ())))
+  | Some spec -> (
+      try Ok (spec.H.Registry.build params) with
+      | Program.Trace_error m -> Error ("trace error: " ^ m)
+      | Schedule.Scheduling_error m -> Error ("scheduling error: " ^ m)
+      | Failure m -> Error m
+      | Invalid_argument m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    print_endline "Algorithms:";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-24s %s\n" s.H.Registry.name s.H.Registry.doc)
+      H.Registry.all;
+    print_endline "";
+    print_endline "Topologies: ndv4:<nodes>  dgx2:<nodes>  dgx1  custom:<nodes>:<gpus>";
+    print_endline "Protocols:  Simple  LL  LL128  SCCL";
+    ok
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List algorithms, topologies and protocols")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let output_arg =
+    let doc = "Write MSCCL-IR XML here (default: stdout)." in
+    Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run algo nodes gpus channels instances proto chunk_factor no_verify
+      output =
+    let params =
+      build_params nodes gpus channels instances proto chunk_factor no_verify
+    in
+    match build_ir algo params with
+    | Error msg ->
+        prerr_endline msg;
+        user_error
+    | Ok ir -> (
+        Printf.eprintf "%s\n" (Ir.summary ir);
+        match output with
+        | None ->
+            print_string (Xml.to_string ir);
+            ok
+        | Some path ->
+            Xml.save ir path;
+            Printf.eprintf "wrote %s\n" path;
+            ok)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile an algorithm to MSCCL-IR XML")
+    Term.(
+      const run $ algo_arg $ nodes_arg $ gpus_arg $ channels_arg
+      $ instances_arg $ proto_arg $ chunk_factor_arg $ no_verify_arg
+      $ output_arg)
+
+let xml_file_arg =
+  let doc = "MSCCL-IR XML file." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let verify_cmd =
+  let run file =
+    match Xml.load file with
+    | exception Xml.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        user_error
+    | ir -> (
+        match Verify.check ir with
+        | Ok () ->
+            Printf.printf "%s: OK (postcondition, deadlock-freedom, structure)\n"
+              (Ir.summary ir);
+            ok
+        | Error msg ->
+            Printf.printf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
+            user_error)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify an MSCCL-IR XML file")
+    Term.(const run $ xml_file_arg)
+
+let show_cmd =
+  let stats_arg =
+    let doc = "Print a static analysis report instead of the full IR." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run file stats =
+    match Xml.load file with
+    | exception Xml.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        user_error
+    | ir ->
+        if stats then
+          Format.printf "%s@.%a@." (Ir.summary ir) Analysis.pp
+            (Analysis.analyze ir)
+        else Format.printf "%a@." Ir.pp ir;
+        ok
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Pretty-print or analyze an MSCCL-IR XML file")
+    Term.(const run $ xml_file_arg $ stats_arg)
+
+let simulate_cmd =
+  let file_arg =
+    let doc = "Simulate this MSCCL-IR XML file instead of a named algorithm." in
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let algo_opt_arg =
+    let doc = "Algorithm name (alternative to --file)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ALGO" ~doc)
+  in
+  let sweep_arg =
+    let doc = "Sweep buffer sizes 1KB..1GB instead of a single size." in
+    Arg.(value & flag & info [ "sweep" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Write a Chrome-tracing timeline of the simulated execution \
+               (open in chrome://tracing or Perfetto)." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run algo file topo channels instances proto chunk_factor size sweep
+      trace =
+    match H.Registry.parse_topology topo with
+    | Error msg ->
+        prerr_endline msg;
+        user_error
+    | Ok topology -> (
+        let nodes = T.Topology.num_nodes topology in
+        let gpus = T.Topology.gpus_per_node topology in
+        let ir_result =
+          match (file, algo) with
+          | Some f, _ -> (
+              try Ok (Xml.load f)
+              with Xml.Parse_error m -> Error ("parse error: " ^ m))
+          | None, Some a ->
+              build_ir a
+                (build_params nodes gpus channels instances proto chunk_factor
+                   true)
+          | None, None -> Error "need an algorithm name or --file"
+        in
+        match ir_result with
+        | Error msg ->
+            prerr_endline msg;
+            user_error
+        | Ok ir ->
+            let timeline = Option.map (fun _ -> Timeline.create ()) trace in
+            let one buffer_bytes =
+              let r =
+                Simulator.run_buffer ~topo:topology ~buffer_bytes ?timeline ir
+              in
+              Printf.printf
+                "%10s  %12.1f us   algbw %8.2f GB/s   (tiles=%d msgs=%d)\n"
+                (H.Sweep.pretty buffer_bytes)
+                (r.Simulator.time *. 1e6)
+                (Simulator.algbw ~buffer_bytes r /. 1e9)
+                r.Simulator.tiles r.Simulator.messages
+            in
+            Printf.printf "%s on %s (%s)\n" ir.Ir.name
+              (T.Topology.name topology)
+              (T.Protocol.name ir.Ir.proto);
+            (try
+               if sweep then
+                 List.iter one
+                   (H.Sweep.sizes ~from:1024. ~upto:(H.Sweep.gib 1.))
+               else one size;
+               (match (trace, timeline) with
+               | Some path, Some tl ->
+                   Timeline.save tl path;
+                   Printf.eprintf "wrote %d span(s) to %s\n"
+                     (Timeline.num_events tl) path
+               | _ -> ());
+               ok
+             with Simulator.Sim_error m ->
+               Printf.eprintf "simulation error: %s\n" m;
+               user_error))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate an algorithm or IR file on a cluster topology")
+    Term.(
+      const run $ algo_opt_arg $ file_arg $ topo_arg $ channels_arg
+      $ instances_arg $ proto_arg $ chunk_factor_arg $ size_arg $ sweep_arg
+      $ trace_arg)
+
+let tune_cmd =
+  let coll_arg =
+    let doc = "Collective to tune: allreduce or alltoall." in
+    Arg.(value & opt string "allreduce" & info [ "collective" ] ~docv:"COLL" ~doc)
+  in
+  let run topo coll =
+    match H.Registry.parse_topology topo with
+    | Error msg ->
+        prerr_endline msg;
+        user_error
+    | Ok topology -> (
+        let pick =
+          match String.lowercase_ascii coll with
+          | "allreduce" ->
+              Ok
+                ( H.Tuner.allreduce_candidates topology,
+                  Msccl_baselines.Nccl_model.allreduce topology )
+          | "alltoall" ->
+              Ok
+                ( H.Tuner.alltoall_candidates topology,
+                  Msccl_baselines.Nccl_model.alltoall topology )
+          | other -> Error (Printf.sprintf "cannot tune %S" other)
+        in
+        match pick with
+        | Error msg ->
+            prerr_endline msg;
+            user_error
+        | Ok ([], _) ->
+            prerr_endline "no candidates for this collective on this topology";
+            user_error
+        | Ok (candidates, nccl) ->
+            let table = H.Tuner.tune ~topo:topology ~nccl ~candidates () in
+            Format.printf "%a" H.Tuner.pp_table table;
+            ok)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Build the size-range algorithm selection table for a topology")
+    Term.(const run $ topo_arg $ coll_arg)
+
+let figures_cmd =
+  let which_arg =
+    let doc = "Figure ids to regenerate (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"FIG" ~doc)
+  in
+  let run which =
+    let known = H.Figures.all @ H.Ablations.all in
+    let selected =
+      match which with
+      | [] -> H.Figures.all
+      | ids -> List.filter (fun (id, _) -> List.mem id ids) known
+    in
+    if selected = [] then begin
+      Printf.eprintf "no matching figures; known: %s\n"
+        (String.concat " " (List.map fst known));
+      user_error
+    end
+    else begin
+      List.iter
+        (fun (_, f) ->
+          let fig = f () in
+          H.Report.print Format.std_formatter fig;
+          print_string (H.Report.summarize fig))
+        selected;
+      ok
+    end
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's evaluation figures")
+    Term.(const run $ which_arg)
+
+let main =
+  let doc = "MSCCLang: compile, verify and simulate GPU collectives" in
+  Cmd.group (Cmd.info "msccl" ~doc)
+    [
+      list_cmd; compile_cmd; verify_cmd; show_cmd; simulate_cmd; tune_cmd;
+      figures_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

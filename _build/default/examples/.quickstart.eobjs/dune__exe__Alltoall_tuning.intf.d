@@ -1,0 +1,1 @@
+examples/alltoall_tuning.mli:

@@ -1,0 +1,1 @@
+examples/alltonext_pipeline.ml: Array Executor Ir List Msccl_algorithms Msccl_baselines Msccl_core Msccl_harness Msccl_topology Printf Simulator

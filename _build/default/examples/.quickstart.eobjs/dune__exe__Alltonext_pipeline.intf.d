@@ -1,0 +1,1 @@
+examples/alltonext_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/custom_collective.ml: Buffer_id Chunk Collective Compile Format Fun Ir List Msccl_core Msccl_topology Printf Program Simulator String Verify

@@ -1,0 +1,1 @@
+examples/hierarchical_allreduce.ml: Array Collective Compile Format Instances Ir List Msccl_algorithms Msccl_baselines Msccl_core Msccl_topology Simulator

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Buffer_id Collective Compile Executor Format List Msccl_core Msccl_harness Msccl_topology Printf Program Simulator Verify Xml

@@ -1,0 +1,1 @@
+examples/synthesize.ml: Ir List Msccl_algorithms Msccl_core Msccl_harness Msccl_topology Printf Simulator

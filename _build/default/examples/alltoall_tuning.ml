@@ -1,0 +1,61 @@
+(* Exploring the optimization space the way §7 describes: take the
+   Two-Step AllToAll on 4 NDv4 nodes and sweep protocol x parallelization,
+   watching where each configuration wins — "a developer can explore
+   different implementations and optimizations without fearing data races
+   or deadlocks" (§1).
+
+     dune exec examples/alltoall_tuning.exe *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+module B = Msccl_baselines
+module H = Msccl_harness
+
+let () =
+  let nodes = 4 and gpus_per_node = 8 in
+  let topo = T.Presets.ndv4 ~nodes in
+  let configs =
+    [
+      (T.Protocol.LL, 1); (T.Protocol.LL128, 1); (T.Protocol.Simple, 1);
+      (T.Protocol.Simple, 2);
+    ]
+  in
+  let irs =
+    List.map
+      (fun (proto, r) ->
+        ( Printf.sprintf "%s r=%d" (T.Protocol.name proto) r,
+          A.Two_step_alltoall.ir ~proto ~instances:r ~verify:false ~nodes
+            ~gpus_per_node () ))
+      configs
+  in
+  let nccl = B.Nccl_model.alltoall topo in
+  Printf.printf "Two-Step AllToAll tuning on %s (times in us; * = winner)\n\n"
+    (T.Topology.name topo);
+  Printf.printf "%10s | %12s" "size" "NCCL";
+  List.iter (fun (name, _) -> Printf.printf " | %12s" name) irs;
+  print_newline ();
+  List.iter
+    (fun buffer_bytes ->
+      let nccl_t = nccl ~buffer_bytes in
+      let times =
+        List.map
+          (fun (_, ir) ->
+            (Simulator.run_buffer ~topo ~buffer_bytes ~check_occupancy:false ir)
+              .Simulator.time)
+          irs
+      in
+      let best = List.fold_left Float.min nccl_t times in
+      let cell t =
+        Printf.printf " | %10.1f%s" (t *. 1e6) (if t = best then "*" else " ")
+      in
+      Printf.printf "%10s" (H.Sweep.pretty buffer_bytes);
+      cell nccl_t;
+      List.iter cell times;
+      print_newline ())
+    (H.Sweep.sizes_coarse ~from:(H.Sweep.mib 1.) ~upto:(H.Sweep.gib 1.));
+  print_newline ();
+  print_endline
+    "Reading: NCCL wins tiny buffers (one-step, low latency); the Two-Step\n\
+     aggregation wins once per-message InfiniBand overhead dominates; the\n\
+     Simple protocol takes over from LL128 as buffers grow."

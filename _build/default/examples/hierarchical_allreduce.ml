@@ -1,0 +1,56 @@
+(* The paper's running example (§2, Fig. 1/3): hierarchical AllReduce on
+   2 nodes x 3 GPUs, compiled and inspected end to end, plus the §7.2
+   comparison against composing NCCL collectives (kernel-launch overhead
+   and lost cross-phase pipelining).
+
+     dune exec examples/hierarchical_allreduce.exe *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+module B = Msccl_baselines
+
+let () =
+  (* Fig. 1's shape: N = 2 nodes, G = 3 GPUs per node, N*G = 6 chunks. *)
+  let nodes = 2 and gpus_per_node = 3 in
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks:(nodes * gpus_per_node)
+      ~chunk_factor:(nodes * gpus_per_node) ~inplace:true ()
+  in
+  let report =
+    Compile.compile ~name:"hierarchical-allreduce" coll
+      (A.Hierarchical_allreduce.program ~nodes ~gpus_per_node
+         ~intra_parallel:nodes)
+  in
+  Format.printf "%a@.@." Compile.pp_report report;
+  Format.printf "MSCCL-IR for GPU 0:@.";
+  let ir = report.Compile.ir in
+  let gpu0 = { ir with Ir.gpus = [| ir.Ir.gpus.(0) |] } in
+  (* print just one GPU's program, Fig. 4 style *)
+  Array.iter
+    (fun (tb : Ir.tb) ->
+      Format.printf "  tb %d send=%d recv=%d ch=%d: %d step(s)@." tb.Ir.tb_id
+        tb.Ir.send tb.Ir.recv tb.Ir.chan (Array.length tb.Ir.steps))
+    gpu0.Ir.gpus.(0).Ir.tbs;
+  Format.printf "@.";
+
+  (* The single-kernel pipelined execution vs. the same algorithm composed
+     from four NCCL collective launches (Fig. 6 / Fig. 8c's red line).
+     Both sides get the same whole-program parallelization. *)
+  let topo = T.Presets.hierarchical ~nodes ~gpus_per_node () in
+  let ir_r8 = Instances.blocked ir ~instances:8 in
+  let composed = B.Nccl_composed.time topo in
+  Format.printf "single kernel vs composed NCCL kernels (%d x %d GPUs):@."
+    nodes gpus_per_node;
+  List.iter
+    (fun mb ->
+      let buffer_bytes = mb *. 1024. *. 1024. in
+      let single =
+        (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles:16 ir_r8)
+          .Simulator.time
+      in
+      let multi = composed ~buffer_bytes in
+      Format.printf
+        "  %6.0f MB: MSCCLang %9.1f us | composed %9.1f us | %.2fx@." mb
+        (single *. 1e6) (multi *. 1e6) (multi /. single))
+    [ 1.; 16.; 256. ]

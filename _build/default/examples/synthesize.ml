@@ -1,0 +1,53 @@
+(* Synthesizing a collective from the wiring (the SCCL direction, §7.5):
+   give the synthesizer only the DGX-1's NVLink graph and let it derive an
+   AllGather schedule, then compare it against the hand-written (1,2,2)
+   algorithm — both compiled, verified and timed by the same pipeline.
+
+     dune exec examples/synthesize.exe *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+module H = Msccl_harness
+
+let () =
+  (* 1. Plan from connectivity alone. *)
+  let sched =
+    A.Synthesis.plan ~num_ranks:8 ~connected:T.Presets.dgx1_connected
+      ~link_count:T.Presets.dgx1_nvlink_count ()
+  in
+  Printf.printf "synthesized AllGather for the DGX-1 NVLink graph: %d rounds\n"
+    (List.length sched.A.Synthesis.rounds);
+  List.iteri
+    (fun i transfers ->
+      Printf.printf "  round %d: %d transfers\n" i (List.length transfers))
+    sched.A.Synthesis.rounds;
+
+  (* 2. Lower + compile + verify like any hand-written program. *)
+  let synth =
+    A.Synthesis.allgather ~proto:T.Protocol.Simple ~num_ranks:8
+      ~connected:T.Presets.dgx1_connected
+      ~link_count:T.Presets.dgx1_nvlink_count ()
+  in
+  Printf.printf "\ncompiled + verified: %s\n\n" (Ir.summary synth);
+
+  (* 3. Race it against the hand-written (1,2,2) schedule. *)
+  let hand = A.Allgather_sccl.ir ~proto:T.Protocol.Simple () in
+  let topo = T.Presets.dgx1 () in
+  Printf.printf "%10s | %12s | %12s | %s\n" "size" "(1,2,2) us" "synth us"
+    "synth speedup";
+  List.iter
+    (fun buffer_bytes ->
+      let t ir =
+        (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles:16 ir)
+          .Simulator.time
+      in
+      let th = t hand and ts = t synth in
+      Printf.printf "%10s | %12.1f | %12.1f | %8.2fx\n"
+        (H.Sweep.pretty buffer_bytes) (th *. 1e6) (ts *. 1e6) (th /. ts))
+    (H.Sweep.sizes_coarse ~from:(H.Sweep.kib 64.) ~upto:(H.Sweep.mib 64.));
+  print_newline ();
+  print_endline
+    "The synthesized schedule finds the same 2-round structure as SCCL's\n\
+     (1,2,2) but spreads traffic across all six NVLink bricks per GPU,\n\
+     where the hand-written schedule only uses the quad + cross links."

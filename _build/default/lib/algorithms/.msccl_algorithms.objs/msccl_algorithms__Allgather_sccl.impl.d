@@ -1,0 +1,1 @@
+lib/algorithms/allgather_sccl.ml: Buffer_id Collective Compile Msccl_core Program

@@ -1,0 +1,1 @@
+lib/algorithms/allgather_sccl.mli: Msccl_core Msccl_topology

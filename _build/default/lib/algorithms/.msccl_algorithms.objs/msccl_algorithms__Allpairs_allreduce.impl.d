@@ -1,0 +1,1 @@
+lib/algorithms/allpairs_allreduce.ml: Buffer_id Collective Compile Msccl_core Program

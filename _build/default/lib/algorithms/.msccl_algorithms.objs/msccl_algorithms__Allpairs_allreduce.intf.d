@@ -1,0 +1,1 @@
+lib/algorithms/allpairs_allreduce.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/alltoall_naive.ml: Buffer_id Collective Compile Msccl_core Program

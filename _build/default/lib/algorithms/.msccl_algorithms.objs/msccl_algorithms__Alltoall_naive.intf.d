@@ -1,0 +1,1 @@
+lib/algorithms/alltoall_naive.mli: Msccl_core Msccl_topology

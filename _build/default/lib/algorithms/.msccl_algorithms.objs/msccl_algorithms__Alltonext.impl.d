@@ -1,0 +1,1 @@
+lib/algorithms/alltonext.ml: Buffer_id Collective Compile Msccl_core Program

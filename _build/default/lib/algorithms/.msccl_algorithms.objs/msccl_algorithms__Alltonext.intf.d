@@ -1,0 +1,1 @@
+lib/algorithms/alltonext.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/broadcast_ring.ml: Buffer_id Collective Compile Msccl_core Printf Program

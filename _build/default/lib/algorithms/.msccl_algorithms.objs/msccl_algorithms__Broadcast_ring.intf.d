@@ -1,0 +1,1 @@
+lib/algorithms/broadcast_ring.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/double_binary_tree.ml: Buffer_id Collective Compile Fun List Msccl_core Program

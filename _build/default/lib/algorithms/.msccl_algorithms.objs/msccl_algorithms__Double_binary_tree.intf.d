@@ -1,0 +1,1 @@
+lib/algorithms/double_binary_tree.mli: Msccl_core Msccl_topology

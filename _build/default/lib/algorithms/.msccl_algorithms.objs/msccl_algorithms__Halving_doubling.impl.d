@@ -1,0 +1,1 @@
+lib/algorithms/halving_doubling.ml: Array Buffer_id Collective Compile List Msccl_core Program

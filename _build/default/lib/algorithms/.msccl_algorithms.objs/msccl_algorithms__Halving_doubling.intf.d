@@ -1,0 +1,1 @@
+lib/algorithms/halving_doubling.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/hierarchical_allgather.ml: Buffer_id Collective Compile List Msccl_core Patterns Program

@@ -1,0 +1,1 @@
+lib/algorithms/hierarchical_allreduce.ml: Collective Compile List Msccl_core Option Patterns

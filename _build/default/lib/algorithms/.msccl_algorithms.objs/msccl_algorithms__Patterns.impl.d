@@ -1,0 +1,1 @@
+lib/algorithms/patterns.ml: Buffer_id List Msccl_core Option Program

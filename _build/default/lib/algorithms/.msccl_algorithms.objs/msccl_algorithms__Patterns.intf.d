@@ -1,0 +1,1 @@
+lib/algorithms/patterns.mli: Msccl_core

@@ -1,0 +1,1 @@
+lib/algorithms/recursive_doubling.ml: Buffer_id Collective Compile Msccl_core Program

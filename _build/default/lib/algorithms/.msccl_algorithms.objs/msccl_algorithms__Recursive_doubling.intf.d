@@ -1,0 +1,1 @@
+lib/algorithms/recursive_doubling.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/reduce_scatter_ring.ml: Buffer_id Collective Compile Fun List Msccl_core Patterns Printf Program

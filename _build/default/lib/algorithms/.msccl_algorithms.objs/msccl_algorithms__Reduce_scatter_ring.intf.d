@@ -1,0 +1,1 @@
+lib/algorithms/reduce_scatter_ring.mli: Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/algorithms/ring_allreduce.ml: Array Collective Compile Fun Int List Msccl_core Patterns Printf

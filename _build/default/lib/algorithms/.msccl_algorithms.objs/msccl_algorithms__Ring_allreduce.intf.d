@@ -1,0 +1,1 @@
+lib/algorithms/ring_allreduce.mli: Msccl_core Msccl_topology

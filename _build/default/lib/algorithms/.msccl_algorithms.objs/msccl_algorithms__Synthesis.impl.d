@@ -1,0 +1,1 @@
+lib/algorithms/synthesis.ml: Array Buffer_id Collective Compile Format Fun Int List Msccl_core Printf Program

@@ -1,0 +1,1 @@
+lib/algorithms/synthesis.mli: Msccl_core Msccl_topology

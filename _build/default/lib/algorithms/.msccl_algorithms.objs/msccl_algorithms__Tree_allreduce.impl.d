@@ -1,0 +1,1 @@
+lib/algorithms/tree_allreduce.ml: Buffer_id Collective Compile List Msccl_core Printf Program

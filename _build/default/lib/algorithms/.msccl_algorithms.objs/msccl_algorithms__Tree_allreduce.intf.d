@@ -1,0 +1,1 @@
+lib/algorithms/tree_allreduce.mli: Msccl_core Msccl_topology

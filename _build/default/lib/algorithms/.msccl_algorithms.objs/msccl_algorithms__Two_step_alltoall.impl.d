@@ -1,0 +1,1 @@
+lib/algorithms/two_step_alltoall.ml: Buffer_id Collective Compile Msccl_core Program

@@ -1,0 +1,1 @@
+lib/algorithms/two_step_alltoall.mli: Msccl_core Msccl_topology

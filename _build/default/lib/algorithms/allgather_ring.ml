@@ -1,0 +1,22 @@
+open Msccl_core
+
+let program ~num_ranks ~chunk_factor ~channels prog =
+  let c = chunk_factor in
+  let ranks = List.init num_ranks Fun.id in
+  for r = 0 to num_ranks - 1 do
+    let own = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 ~count:c () in
+    ignore (Program.copy own ~rank:r Buffer_id.Output ~index:(r * c) ())
+  done;
+  let ch ~hop = Some (hop mod channels) in
+  Patterns.ring_all_gather prog ~ranks ~buf:Buffer_id.Output ~offset:0 ~count:c
+    ~ch ()
+
+let ir ?proto ?(channels = 1) ?(chunk_factor = 1) ?instances ?verify
+    ~num_ranks () =
+  let coll =
+    Collective.make Collective.Allgather ~num_ranks ~chunk_factor ()
+  in
+  Compile.ir
+    ~name:(Printf.sprintf "ring-allgather-ch%d" channels)
+    ?proto ?instances ?verify coll
+    (program ~num_ranks ~chunk_factor ~channels)

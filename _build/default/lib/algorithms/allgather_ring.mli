@@ -1,0 +1,18 @@
+(** Out-of-place Ring AllGather: each rank's [chunk_factor] input chunks
+    first move to their final position in the output buffer, then rotate
+    around the ring (Fig. 3b's AllGather over the output buffer).
+    [channels] rotates hops across channels as in {!Ring_allreduce}. *)
+
+val program :
+  num_ranks:int -> chunk_factor:int -> channels:int ->
+  Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?channels:int ->
+  ?chunk_factor:int ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t

@@ -1,0 +1,32 @@
+open Msccl_core
+
+let num_ranks = 8
+
+let quad r = r / 4 * 4
+
+let program prog =
+  (* Own chunk into place. *)
+  for r = 0 to num_ranks - 1 do
+    let own = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 () in
+    ignore (Program.copy own ~rank:r Buffer_id.Output ~index:r ());
+    (* Step 1: broadcast within the quad (all pairs NVLink-connected). *)
+    for peer = quad r to quad r + 3 do
+      if peer <> r then begin
+        let c = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 () in
+        ignore (Program.copy c ~rank:peer Buffer_id.Output ~index:r ())
+      end
+    done
+  done;
+  (* Step 2: ship the whole quad block to the cross partner (g xor 4 —
+     exactly the DGX-1 pairs with two NVLink bricks each: 0-4, 1-5, 2-6, 3-7). *)
+  for r = 0 to num_ranks - 1 do
+    let partner = r lxor 4 in
+    let block =
+      Program.chunk prog ~rank:r Buffer_id.Output ~index:(quad r) ~count:4 ()
+    in
+    ignore (Program.copy block ~rank:partner Buffer_id.Output ~index:(quad r) ())
+  done
+
+let ir ?proto ?instances ?verify () =
+  let coll = Collective.make Collective.Allgather ~num_ranks () in
+  Compile.ir ~name:"sccl-allgather-122" ?proto ?instances ?verify coll program

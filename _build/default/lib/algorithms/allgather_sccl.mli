@@ -1,0 +1,24 @@
+(** The SCCL "(1,2,2)" AllGather for DGX-1 (paper §7.5, Fig. 11).
+
+    SCCL synthesizes latency/bandwidth-optimal algorithms for the DGX-1's
+    point-to-point NVLink topology; its (1,2,2) AllGather completes in two
+    steps. Reimplemented in MSCCLang (as the paper does for its Fig. 11
+    comparison), using only NVLink-connected pairs of the DGX-1:
+
+    - step 1: every GPU sends its chunk to the three other GPUs of its
+      quad ({0..3} or {4..7} — both are NVLink cliques);
+    - step 2: every GPU forwards its quad's four chunks to its cross-quad
+      partner ([g xor 4]) as one aggregated transfer.
+
+    Running this IR under the Simple/LL protocols vs. the SCCL direct-copy
+    protocol reproduces Fig. 11. *)
+
+val program : Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  unit ->
+  Msccl_core.Ir.t
+(** Always 8 ranks, one chunk per rank (out-of-place). *)

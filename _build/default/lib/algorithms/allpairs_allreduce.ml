@@ -1,0 +1,35 @@
+open Msccl_core
+
+let program ~num_ranks prog =
+  (* Gather: every rank q ships its copy of chunk r to rank r's scratch. *)
+  for r = 0 to num_ranks - 1 do
+    for q = 0 to num_ranks - 1 do
+      if q <> r then begin
+        let scratch_index = if q < r then q else q - 1 in
+        let c = Program.chunk prog ~rank:q Buffer_id.Input ~index:r () in
+        ignore
+          (Program.copy c ~rank:r Buffer_id.Scratch ~index:scratch_index ())
+      end
+    done
+  done;
+  (* Local reduction of the R-1 gathered contributions. *)
+  for r = 0 to num_ranks - 1 do
+    let acc = ref (Program.chunk prog ~rank:r Buffer_id.Input ~index:r ()) in
+    for k = 0 to num_ranks - 2 do
+      let part = Program.chunk prog ~rank:r Buffer_id.Scratch ~index:k () in
+      acc := Program.reduce !acc part ()
+    done;
+    (* Broadcast the finished chunk to every other rank. *)
+    for q = 0 to num_ranks - 1 do
+      if q <> r then
+        ignore (Program.copy !acc ~rank:q Buffer_id.Input ~index:r ())
+    done
+  done
+
+let ir ?proto ?instances ?verify ~num_ranks () =
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks ~chunk_factor:num_ranks
+      ~inplace:true ()
+  in
+  Compile.ir ~name:"allpairs-allreduce" ?proto ?instances ?verify coll
+    (program ~num_ranks)

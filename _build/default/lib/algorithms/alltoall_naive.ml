@@ -1,0 +1,14 @@
+open Msccl_core
+
+let program ~num_ranks prog =
+  for src = 0 to num_ranks - 1 do
+    for dst = 0 to num_ranks - 1 do
+      let c = Program.chunk prog ~rank:src Buffer_id.Input ~index:dst () in
+      ignore (Program.copy c ~rank:dst Buffer_id.Output ~index:src ())
+    done
+  done
+
+let ir ?proto ?instances ?verify ~num_ranks () =
+  let coll = Collective.make Collective.Alltoall ~num_ranks () in
+  Compile.ir ~name:"naive-alltoall" ?proto ?instances ?verify coll
+    (program ~num_ranks)

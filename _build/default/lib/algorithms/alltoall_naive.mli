@@ -1,0 +1,15 @@
+(** Naive one-step AllToAll: every pair of GPUs exchanges its chunk
+    directly, the way NCCL implements AllToAll as grouped point-to-point
+    sends and receives (paper §7.3). One communication step, but
+    [ranks - 1] separate (small) messages per GPU — expensive over
+    InfiniBand, which is what the Two-Step algorithm fixes. *)
+
+val program : num_ranks:int -> Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t

@@ -1,0 +1,56 @@
+open Msccl_core
+
+(* Scratch slot layout on every relay GPU: slot 0 stages the chunk it
+   forwards for its node's boundary GPU; slot 1 receives the chunk it
+   relays on the destination side. *)
+let out_slot = 0
+
+let in_slot = 1
+
+let program ~nodes ~gpus_per_node prog =
+  let g_cnt = gpus_per_node in
+  let rank n g = (n * g_cnt) + g in
+  for n = 0 to nodes - 1 do
+    for g = 0 to g_cnt - 1 do
+      let r = rank n g in
+      if g < g_cnt - 1 then begin
+        (* Within a node: one aggregated direct copy to the next GPU. *)
+        let c =
+          Program.chunk prog ~rank:r Buffer_id.Input ~index:0 ~count:g_cnt ()
+        in
+        ignore (Program.copy c ~rank:(r + 1) Buffer_id.Output ~index:0 ())
+      end
+      else if n < nodes - 1 then
+        (* Node boundary: scatter over NVLink, cross over every NIC,
+           gather on the next node's first GPU (Fig. 10). *)
+        let dst = rank (n + 1) 0 in
+        for j = 0 to g_cnt - 1 do
+          let piece = Program.chunk prog ~rank:r Buffer_id.Input ~index:j () in
+          let staged =
+            if j = g_cnt - 1 then piece
+            else
+              Program.copy piece ~rank:(rank n j) Buffer_id.Scratch
+                ~index:out_slot ()
+          in
+          if j = 0 then
+            (* The relay on the destination side is the destination. *)
+            ignore (Program.copy staged ~rank:dst Buffer_id.Output ~index:0 ())
+          else begin
+            let landed =
+              Program.copy staged ~rank:(rank (n + 1) j) Buffer_id.Scratch
+                ~index:in_slot ()
+            in
+            ignore (Program.copy landed ~rank:dst Buffer_id.Output ~index:j ())
+          end
+        done
+    done
+  done
+
+let ir ?proto ?instances ?verify ~nodes ~gpus_per_node () =
+  let num_ranks = nodes * gpus_per_node in
+  let coll =
+    Collective.make Collective.Alltonext ~num_ranks ~chunk_factor:gpus_per_node
+      ()
+  in
+  Compile.ir ~name:"alltonext" ?proto ?instances ?verify coll
+    (program ~nodes ~gpus_per_node)

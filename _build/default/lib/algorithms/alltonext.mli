@@ -1,0 +1,23 @@
+(** AllToNext (paper §7.4, Fig. 10) — a custom collective outside MPI.
+
+    GPU [i] sends its buffer to GPU [i+1]; the last GPU sends nothing.
+    Within a node the transfer is a direct NVLink copy, but a naive
+    cross-node send uses a single InfiniBand NIC (and a single thread
+    block), wasting the node's remaining NICs. AllToNext splits the buffer
+    into [gpus_per_node] chunks at each node boundary, scatters them over
+    NVLink to all GPUs of the sending node, ships each chunk over that
+    GPU's own NIC, and gathers them on the receiving GPU — using every IB
+    link in the node. Small buffers lose to the extra hops; large buffers
+    win by up to 14.5x with enough parallelization ([instances]). *)
+
+val program : nodes:int -> gpus_per_node:int -> Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  nodes:int ->
+  gpus_per_node:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** The collective is [Alltonext] with [chunk_factor = gpus_per_node]. *)

@@ -1,0 +1,23 @@
+open Msccl_core
+
+let program ~num_ranks ~root ~chunk_factor ~channels prog =
+  for i = 0 to chunk_factor - 1 do
+    let ch = Some (i mod channels) in
+    let c = Program.chunk prog ~rank:root Buffer_id.Input ~index:i () in
+    let own = Program.copy c ~rank:root Buffer_id.Output ~index:i () in
+    let cur = ref own in
+    for hop = 1 to num_ranks - 1 do
+      let next = (root + hop) mod num_ranks in
+      cur := Program.copy !cur ~rank:next Buffer_id.Output ~index:i ?ch ()
+    done
+  done
+
+let ir ?proto ?(channels = 1) ?(chunk_factor = 1) ?instances ?verify
+    ~num_ranks ~root () =
+  let coll =
+    Collective.make (Collective.Broadcast root) ~num_ranks ~chunk_factor ()
+  in
+  Compile.ir
+    ~name:(Printf.sprintf "ring-broadcast-ch%d" channels)
+    ?proto ?instances ?verify coll
+    (program ~num_ranks ~root ~chunk_factor ~channels)

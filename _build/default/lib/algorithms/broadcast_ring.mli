@@ -1,0 +1,18 @@
+(** Pipelined Ring Broadcast: the root's chunks travel around the ring one
+    hop at a time; with multiple chunks the hops pipeline, and the compiler
+    fuses each forwarding hop into a receive-copy-send. *)
+
+val program :
+  num_ranks:int -> root:int -> chunk_factor:int -> channels:int ->
+  Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?channels:int ->
+  ?chunk_factor:int ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  root:int ->
+  unit ->
+  Msccl_core.Ir.t

@@ -1,0 +1,52 @@
+open Msccl_core
+
+(* Complete binary tree over logical ids 0..R-1 (children of i: 2i+1,
+   2i+2), with a per-tree rank relabeling. *)
+let children num_ranks i =
+  List.filter (fun c -> c < num_ranks) [ (2 * i) + 1; (2 * i) + 2 ]
+
+let tree_pass prog ~num_ranks ~relabel ~index ~ch =
+  (* Reduce up: deepest logical nodes first. *)
+  for p = num_ranks - 1 downto 0 do
+    List.iter
+      (fun child ->
+        let acc =
+          Program.chunk prog ~rank:(relabel p) Buffer_id.Input ~index ()
+        in
+        let sub =
+          Program.chunk prog ~rank:(relabel child) Buffer_id.Input ~index ()
+        in
+        ignore (Program.reduce acc sub ~ch ()))
+      (children num_ranks p)
+  done;
+  (* Broadcast down. *)
+  for p = 0 to num_ranks - 1 do
+    List.iter
+      (fun child ->
+        let full =
+          Program.chunk prog ~rank:(relabel p) Buffer_id.Input ~index ()
+        in
+        ignore
+          (Program.copy full ~rank:(relabel child) Buffer_id.Input ~index ~ch
+             ()))
+      (children num_ranks p)
+  done
+
+let program ~num_ranks ~chunks_per_tree prog =
+  for i = 0 to chunks_per_tree - 1 do
+    (* Tree 0: identity labeling, lower half of the chunks, channel 0. *)
+    tree_pass prog ~num_ranks ~relabel:Fun.id ~index:i ~ch:0;
+    (* Tree 1: shifted labeling, upper half, channel 1. *)
+    tree_pass prog ~num_ranks
+      ~relabel:(fun x -> (x + 1) mod num_ranks)
+      ~index:(chunks_per_tree + i) ~ch:1
+  done
+
+let ir ?proto ?instances ?(chunks_per_tree = 1) ?verify ~num_ranks () =
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks
+      ~chunk_factor:(2 * chunks_per_tree)
+      ~inplace:true ()
+  in
+  Compile.ir ~name:"double-binary-tree-allreduce" ?proto ?instances ?verify
+    coll (program ~num_ranks ~chunks_per_tree)

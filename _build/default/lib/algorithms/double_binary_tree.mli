@@ -1,0 +1,21 @@
+(** Double binary tree AllReduce — NCCL's actual Tree algorithm.
+
+    A single reduction tree leaves its leaves' send links and its root's
+    receive links idle; NCCL therefore runs two complementary trees, each
+    carrying half of the data, arranged so most ranks are a leaf in one
+    tree and an interior node in the other. Here the second tree is the
+    first one with every rank shifted by one (mod R), and each tree owns
+    one half of the chunks on its own channel. *)
+
+val program : num_ranks:int -> chunks_per_tree:int -> Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?chunks_per_tree:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** In-place AllReduce with [2 * chunks_per_tree] chunks (default 1 per
+    tree). *)

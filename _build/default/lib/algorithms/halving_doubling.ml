@@ -1,0 +1,71 @@
+open Msccl_core
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let program ~num_ranks prog =
+  if not (is_pow2 num_ranks && num_ranks >= 2) then
+    invalid_arg "Halving_doubling: num_ranks must be a power of two >= 2";
+  let r_cnt = num_ranks in
+  (* Per-rank segment of responsibility, narrowing during the halving
+     phase. *)
+  let lo = Array.make r_cnt 0 in
+  let len = Array.make r_cnt r_cnt in
+  let steps = ref [] in
+  let d = ref (r_cnt / 2) in
+  while !d >= 1 do
+    steps := !d :: !steps;
+    (* Exchange: each rank reduces its copy of the partner's half into the
+       partner. Lower-bit ranks keep the lower half. *)
+    for r = 0 to r_cnt - 1 do
+      if r land !d = 0 then begin
+        let partner = r lxor !d in
+        let half = len.(r) / 2 in
+        let send_pair a b =
+          (* a's copy of b's half accumulates into b *)
+          let b_lo = if b land !d = 0 then lo.(b) else lo.(b) + half in
+          let dst = Program.chunk prog ~rank:b Buffer_id.Input ~index:b_lo ~count:half () in
+          let src = Program.chunk prog ~rank:a Buffer_id.Input ~index:b_lo ~count:half () in
+          ignore (Program.reduce dst src ())
+        in
+        send_pair r partner;
+        send_pair partner r
+      end
+    done;
+    for r = 0 to r_cnt - 1 do
+      let half = len.(r) / 2 in
+      if r land !d <> 0 then lo.(r) <- lo.(r) + half;
+      len.(r) <- half
+    done;
+    d := !d / 2
+  done;
+  (* Doubling phase: replay the distances in reverse, copying each rank's
+     (now fully reduced) segment to its partner. *)
+  List.iter
+    (fun d ->
+      for r = 0 to r_cnt - 1 do
+        if r land d = 0 then begin
+          let partner = r lxor d in
+          let copy_pair a b =
+            let c =
+              Program.chunk prog ~rank:a Buffer_id.Input ~index:lo.(a)
+                ~count:len.(a) ()
+            in
+            ignore (Program.copy c ~rank:b Buffer_id.Input ~index:lo.(a) ())
+          in
+          copy_pair r partner;
+          copy_pair partner r
+        end
+      done;
+      for r = 0 to r_cnt - 1 do
+        if r land d <> 0 then lo.(r) <- lo.(r) - len.(r);
+        len.(r) <- len.(r) * 2
+      done)
+    !steps
+
+let ir ?proto ?instances ?verify ~num_ranks () =
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks ~chunk_factor:num_ranks
+      ~inplace:true ()
+  in
+  Compile.ir ~name:"halving-doubling-allreduce" ?proto ?instances ?verify
+    coll (program ~num_ranks)

@@ -1,0 +1,22 @@
+(** Recursive halving-doubling AllReduce (Rabenseifner's algorithm).
+
+    For a power-of-two rank count R: a reduce-scatter by recursive vector
+    halving (log R exchange steps, each rank pairing with a partner at
+    distance R/2, R/4, ...) followed by an all-gather by recursive vector
+    doubling. Moves the same 2(R-1)/R volume as Ring but in 2·log R steps
+    instead of 2(R-1) — the classic latency-optimal tradeoff from the MPI
+    literature the paper builds on [41], and a natural algorithm to write
+    in MSCCLang. Every exchange is a single aggregated transfer, which
+    exercises multi-count sends heavily. *)
+
+val program : num_ranks:int -> Msccl_core.Program.t -> unit
+(** Raises [Invalid_argument] unless [num_ranks] is a power of two >= 2. *)
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** In-place AllReduce with [chunk_factor = num_ranks]. *)

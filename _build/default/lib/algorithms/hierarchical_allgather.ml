@@ -1,0 +1,31 @@
+open Msccl_core
+
+let program ~nodes ~gpus_per_node prog =
+  let g_cnt = gpus_per_node in
+  (* Own chunk to its final slot, then an intra-node ring assembles each
+     node's block on every local GPU. *)
+  for r = 0 to (nodes * g_cnt) - 1 do
+    let c = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 () in
+    ignore (Program.copy c ~rank:r Buffer_id.Output ~index:r ())
+  done;
+  for n = 0 to nodes - 1 do
+    let local_ranks = List.init g_cnt (fun i -> (n * g_cnt) + i) in
+    Patterns.ring_all_gather prog ~ranks:local_ranks ~buf:Buffer_id.Output
+      ~offset:(n * g_cnt) ~count:1
+      ~ch:(fun ~hop:_ -> Some 0)
+      ()
+  done;
+  (* Inter-node ring among same-index GPUs, shipping whole node blocks. *)
+  for g = 0 to g_cnt - 1 do
+    let cross_ranks = List.init nodes (fun i -> (i * g_cnt) + g) in
+    Patterns.ring_all_gather prog ~ranks:cross_ranks ~buf:Buffer_id.Output
+      ~offset:0 ~count:g_cnt ~stride:g_cnt
+      ~ch:(fun ~hop:_ -> Some 1)
+      ()
+  done
+
+let ir ?proto ?instances ?verify ~nodes ~gpus_per_node () =
+  let num_ranks = nodes * gpus_per_node in
+  let coll = Collective.make Collective.Allgather ~num_ranks () in
+  Compile.ir ~name:"hierarchical-allgather" ?proto ?instances ?verify coll
+    (program ~nodes ~gpus_per_node)

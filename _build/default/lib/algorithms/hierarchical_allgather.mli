@@ -1,0 +1,17 @@
+(** Hierarchical AllGather: an intra-node ring gathers each node's block,
+    then same-index GPUs run an inter-node ring exchanging whole node
+    blocks as aggregated transfers — the AllGather counterpart of the
+    paper's §2 hierarchical AllReduce, with the same channel scheme (intra
+    on channel 0, inter on channel 1) and cross-phase pipelining. *)
+
+val program : nodes:int -> gpus_per_node:int -> Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  nodes:int ->
+  gpus_per_node:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** Out-of-place AllGather with one chunk per rank. *)

@@ -1,0 +1,48 @@
+open Msccl_core
+
+let program ~nodes ~gpus_per_node ~intra_parallel prog =
+  let n = nodes and g = gpus_per_node in
+  if intra_parallel < 1 || n mod intra_parallel <> 0 then
+    invalid_arg "Hierarchical_allreduce: intra_parallel must divide nodes";
+  let p = intra_parallel in
+  let sub = n / p in
+  let inter_ch = p in
+  let const c ~hop:_ = Some c in
+  (* Phase 1: intra-node ReduceScatter, parallelized over channels 0..p-1
+     (each rank's aggregated count=N slot splits into p count=N/p parts). *)
+  for node = 0 to n - 1 do
+    let local_ranks = List.init g (fun i -> (node * g) + i) in
+    for j = 0 to p - 1 do
+      Patterns.ring_reduce_scatter prog ~ranks:local_ranks ~offset:(j * sub)
+        ~count:sub ~stride:n ~ch:(const j) ()
+    done
+  done;
+  (* Phases 2+3: inter-node ReduceScatter then AllGather among same-index
+     GPUs, on their own channel. *)
+  for gpu = 0 to g - 1 do
+    let cross_ranks = List.init n (fun i -> (i * g) + gpu) in
+    Patterns.ring_reduce_scatter prog ~ranks:cross_ranks ~offset:(gpu * n)
+      ~count:1 ~ch:(const inter_ch) ();
+    Patterns.ring_all_gather prog ~ranks:cross_ranks ~offset:(gpu * n)
+      ~count:1 ~ch:(const inter_ch) ()
+  done;
+  (* Phase 4: intra-node AllGather, parallelized over channels p+1..2p. *)
+  for node = 0 to n - 1 do
+    let local_ranks = List.init g (fun i -> (node * g) + i) in
+    for j = 0 to p - 1 do
+      Patterns.ring_all_gather prog ~ranks:local_ranks ~offset:(j * sub)
+        ~count:sub ~stride:n
+        ~ch:(const (inter_ch + 1 + j))
+        ()
+    done
+  done
+
+let ir ?proto ?instances ?intra_parallel ?verify ~nodes ~gpus_per_node () =
+  let intra_parallel = Option.value intra_parallel ~default:nodes in
+  let num_ranks = nodes * gpus_per_node in
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks ~chunk_factor:num_ranks
+      ~inplace:true ()
+  in
+  Compile.ir ~name:"hierarchical-allreduce" ?proto ?instances ?verify coll
+    (program ~nodes ~gpus_per_node ~intra_parallel)

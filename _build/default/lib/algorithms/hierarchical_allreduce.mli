@@ -1,0 +1,32 @@
+(** Hierarchical AllReduce (paper §2, Fig. 1/3, evaluated in §7.2).
+
+    On [nodes] x [gpus_per_node] GPUs with [nodes * gpus_per_node] chunks,
+    four phases run: an intra-node ReduceScatter (each GPU ends with the
+    node-local sum of its [nodes] chunks), an inter-node ReduceScatter
+    among same-index GPUs (scattering the global sum), an inter-node
+    AllGather and an intra-node AllGather.
+
+    Channels follow the paper's manual schedule: the intra-node
+    ReduceScatters use channels [0 .. intra_parallel-1] (the
+    [parallelize(N)] directive of §5.1 splits each aggregated [count = N]
+    transfer into parallel single-chunk transfers on distinct channels),
+    the inter-node phases use the next channel, and the intra-node
+    AllGather the ones after that. Pipelining across the four phases (Fig.
+    6) then happens inside the single MSCCLang kernel — the advantage over
+    composing NCCL collectives (§7.2). *)
+
+val program :
+  nodes:int -> gpus_per_node:int -> intra_parallel:int ->
+  Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?intra_parallel:int ->
+  ?verify:bool ->
+  nodes:int ->
+  gpus_per_node:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** [intra_parallel] defaults to [nodes] (full parallelization, as in the
+    paper's listing); it must divide [nodes]. *)

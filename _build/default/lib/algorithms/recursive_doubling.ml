@@ -1,0 +1,30 @@
+open Msccl_core
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let program ~num_ranks prog =
+  if not (is_pow2 num_ranks && num_ranks >= 2) then
+    invalid_arg "Recursive_doubling: num_ranks must be a power of two >= 2";
+  (* Own chunk into its final slot. *)
+  for r = 0 to num_ranks - 1 do
+    let c = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 () in
+    ignore (Program.copy c ~rank:r Buffer_id.Output ~index:r ())
+  done;
+  let d = ref 1 in
+  while !d < num_ranks do
+    for r = 0 to num_ranks - 1 do
+      let partner = r lxor !d in
+      (* Aligned block currently held by [r]: [base, base + d). *)
+      let base = r / !d * !d in
+      let c =
+        Program.chunk prog ~rank:r Buffer_id.Output ~index:base ~count:!d ()
+      in
+      ignore (Program.copy c ~rank:partner Buffer_id.Output ~index:base ())
+    done;
+    d := !d * 2
+  done
+
+let ir ?proto ?instances ?verify ~num_ranks () =
+  let coll = Collective.make Collective.Allgather ~num_ranks () in
+  Compile.ir ~name:"recursive-doubling-allgather" ?proto ?instances ?verify
+    coll (program ~num_ranks)

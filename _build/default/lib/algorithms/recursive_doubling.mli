@@ -1,0 +1,15 @@
+(** Recursive-doubling AllGather: in step s every rank exchanges its
+    current 2^s-chunk block with the partner at distance 2^s, so all blocks
+    double until everyone holds everything — log R aggregated exchanges
+    instead of the ring's R-1 hops. Power-of-two rank counts only. *)
+
+val program : num_ranks:int -> Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** Out-of-place AllGather with one chunk per rank. *)

@@ -1,0 +1,23 @@
+open Msccl_core
+
+let program ~num_ranks ~chunk_factor ~channels prog =
+  let c = chunk_factor in
+  let ranks = List.init num_ranks Fun.id in
+  let ch ~hop = Some (hop mod channels) in
+  Patterns.ring_reduce_scatter prog ~ranks ~offset:0 ~count:c ~ch ();
+  for r = 0 to num_ranks - 1 do
+    let seg =
+      Program.chunk prog ~rank:r Buffer_id.Input ~index:(r * c) ~count:c ()
+    in
+    ignore (Program.copy seg ~rank:r Buffer_id.Output ~index:0 ())
+  done
+
+let ir ?proto ?(channels = 1) ?(chunk_factor = 1) ?instances ?verify
+    ~num_ranks () =
+  let coll =
+    Collective.make Collective.Reduce_scatter ~num_ranks ~chunk_factor ()
+  in
+  Compile.ir
+    ~name:(Printf.sprintf "ring-reducescatter-ch%d" channels)
+    ?proto ?instances ?verify coll
+    (program ~num_ranks ~chunk_factor ~channels)

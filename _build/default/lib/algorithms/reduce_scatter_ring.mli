@@ -1,0 +1,17 @@
+(** Out-of-place Ring ReduceScatter: the classic single-pass ring (Fig. 3b)
+    accumulates inside the input buffer, then each rank copies its finished
+    segment to its output buffer. *)
+
+val program :
+  num_ranks:int -> chunk_factor:int -> channels:int ->
+  Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?channels:int ->
+  ?chunk_factor:int ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t

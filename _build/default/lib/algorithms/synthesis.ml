@@ -1,0 +1,91 @@
+open Msccl_core
+
+type schedule = {
+  rounds : (int * int * int) list list;
+  num_ranks : int;
+}
+
+exception Synthesis_failure of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Synthesis_failure s)) fmt
+
+(* Rarest-first greedy flood. [have.(r)] is the set of chunk origins rank r
+   holds, as a bitmask (num_ranks <= 62). All decisions in a round use the
+   state at the round's start, so transfers within a round are parallel. *)
+let plan ?(max_rounds = 16) ?(link_count = fun _ _ -> 1) ~num_ranks ~connected
+    () =
+  if num_ranks < 1 || num_ranks > 62 then
+    fail "synthesis supports 1..62 ranks (got %d)" num_ranks;
+  let have = Array.init num_ranks (fun r -> 1 lsl r) in
+  let all = (1 lsl num_ranks) - 1 in
+  let done_ () = Array.for_all (fun h -> h = all) have in
+  let holders o =
+    let n = ref 0 in
+    Array.iter (fun h -> if h land (1 lsl o) <> 0 then incr n) have;
+    !n
+  in
+  let rounds = ref [] in
+  let round_no = ref 0 in
+  while not (done_ ()) do
+    if !round_no >= max_rounds then
+      fail "no AllGather within %d rounds (disconnected topology?)" max_rounds;
+    incr round_no;
+    let snapshot = Array.copy have in
+    let transfers = ref [] in
+    for src = 0 to num_ranks - 1 do
+      for dst = 0 to num_ranks - 1 do
+        if src <> dst && connected src dst then begin
+          (* Chunks src had at the round start and dst still lacks,
+             rarest first. *)
+          let missing =
+            List.init num_ranks Fun.id
+            |> List.filter (fun o ->
+                   snapshot.(src) land (1 lsl o) <> 0
+                   && have.(dst) land (1 lsl o) = 0)
+            |> List.sort (fun a b ->
+                   match Int.compare (holders a) (holders b) with
+                   | 0 -> Int.compare a b
+                   | c -> c)
+          in
+          List.iteri
+            (fun i o ->
+              if i < link_count src dst then begin
+                transfers := (src, dst, o) :: !transfers;
+                have.(dst) <- have.(dst) lor (1 lsl o)
+              end)
+            missing
+        end
+      done
+    done;
+    if !transfers = [] then
+      fail "stuck: no link can make progress (disconnected topology?)";
+    rounds := List.rev !transfers :: !rounds
+  done;
+  { rounds = List.rev !rounds; num_ranks }
+
+let lower sched prog =
+  (* Own chunk into place first. *)
+  for r = 0 to sched.num_ranks - 1 do
+    let c = Program.chunk prog ~rank:r Buffer_id.Input ~index:0 () in
+    ignore (Program.copy c ~rank:r Buffer_id.Output ~index:r ())
+  done;
+  List.iteri
+    (fun round transfers ->
+      List.iter
+        (fun (src, dst, origin) ->
+          let c =
+            Program.chunk prog ~rank:src Buffer_id.Output ~index:origin ()
+          in
+          ignore
+            (Program.copy c ~rank:dst Buffer_id.Output ~index:origin
+               ~ch:round ()))
+        transfers)
+    sched.rounds
+
+let allgather ?proto ?instances ?verify ?max_rounds ?link_count ~num_ranks
+    ~connected () =
+  let sched = plan ?max_rounds ?link_count ~num_ranks ~connected () in
+  let coll = Collective.make Collective.Allgather ~num_ranks () in
+  Compile.ir
+    ~name:(Printf.sprintf "synth-allgather-%dr" (List.length sched.rounds))
+    ?proto ?instances ?verify coll (lower sched)

@@ -1,0 +1,41 @@
+open Msccl_core
+
+(* Complete binary tree on rank ids: children of i are 2i+1 and 2i+2. *)
+let children num_ranks i =
+  List.filter (fun c -> c < num_ranks) [ (2 * i) + 1; (2 * i) + 2 ]
+
+let program ~num_ranks ~chunk_factor ~channels prog =
+  for i = 0 to chunk_factor - 1 do
+    let ch = Some (i mod channels) in
+    (* Reduce phase, deepest ranks first so every parent sees finished
+       subtrees. *)
+    for p = num_ranks - 1 downto 0 do
+      List.iter
+        (fun child ->
+          let acc = Program.chunk prog ~rank:p Buffer_id.Input ~index:i () in
+          let sub =
+            Program.chunk prog ~rank:child Buffer_id.Input ~index:i ()
+          in
+          ignore (Program.reduce acc sub ?ch ()))
+        (children num_ranks p)
+    done;
+    (* Broadcast phase, top down. *)
+    for p = 0 to num_ranks - 1 do
+      List.iter
+        (fun child ->
+          let full = Program.chunk prog ~rank:p Buffer_id.Input ~index:i () in
+          ignore (Program.copy full ~rank:child Buffer_id.Input ~index:i ?ch ()))
+        (children num_ranks p)
+    done
+  done
+
+let ir ?proto ?(channels = 1) ?(chunk_factor = 1) ?instances ?verify
+    ~num_ranks () =
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks ~chunk_factor
+      ~inplace:true ()
+  in
+  Compile.ir
+    ~name:(Printf.sprintf "tree-allreduce-ch%d" channels)
+    ?proto ?instances ?verify coll
+    (program ~num_ranks ~chunk_factor ~channels)

@@ -1,0 +1,22 @@
+(** Tree AllReduce: reduce up a binary tree, broadcast back down.
+
+    NCCL pairs Ring with Tree and picks Tree for small buffers on
+    multi-node systems because its latency grows with the tree depth
+    (2 log R steps) rather than with 2(R-1) ring steps; the NCCL baseline
+    model uses this algorithm for that regime. *)
+
+val program :
+  num_ranks:int -> chunk_factor:int -> channels:int ->
+  Msccl_core.Program.t -> unit
+
+val ir :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?channels:int ->
+  ?chunk_factor:int ->
+  ?instances:int ->
+  ?verify:bool ->
+  num_ranks:int ->
+  unit ->
+  Msccl_core.Ir.t
+(** In-place AllReduce with [chunk_factor] chunks (default 1), pipelined
+    over chunks with channels rotating per chunk. *)

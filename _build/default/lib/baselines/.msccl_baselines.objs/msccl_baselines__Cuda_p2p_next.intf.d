@@ -1,0 +1,1 @@
+lib/baselines/cuda_p2p_next.mli: Msccl_topology Nccl_model

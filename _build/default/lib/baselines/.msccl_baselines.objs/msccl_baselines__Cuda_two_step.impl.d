@@ -1,0 +1,1 @@
+lib/baselines/cuda_two_step.ml: Buffer_id Collective Compile Msccl_core Msccl_topology Nccl_model Program Simulator

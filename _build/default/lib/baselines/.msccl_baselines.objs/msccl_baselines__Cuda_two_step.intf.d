@@ -1,0 +1,1 @@
+lib/baselines/cuda_two_step.mli: Msccl_topology Nccl_model

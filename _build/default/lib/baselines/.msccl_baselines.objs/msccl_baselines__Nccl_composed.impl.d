@@ -1,0 +1,1 @@
+lib/baselines/nccl_composed.ml: Collective Compile List Msccl_algorithms Msccl_core Msccl_topology Nccl_model Simulator

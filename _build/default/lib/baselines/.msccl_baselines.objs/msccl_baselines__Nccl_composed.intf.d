@@ -1,0 +1,1 @@
+lib/baselines/nccl_composed.mli: Msccl_topology Nccl_model

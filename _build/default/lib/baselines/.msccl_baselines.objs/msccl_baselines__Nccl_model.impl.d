@@ -1,0 +1,1 @@
+lib/baselines/nccl_model.ml: Array Buffer_id Collective Compile Float Fun Hashtbl List Msccl_algorithms Msccl_core Msccl_topology Program Simulator

@@ -1,0 +1,1 @@
+lib/baselines/nccl_model.mli: Msccl_topology

@@ -1,0 +1,1 @@
+lib/baselines/sccl_runtime.ml: Msccl_algorithms Msccl_core Msccl_topology

@@ -1,0 +1,1 @@
+lib/baselines/sccl_runtime.mli: Msccl_topology Nccl_model

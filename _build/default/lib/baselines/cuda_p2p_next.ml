@@ -1,0 +1,1 @@
+let time = Nccl_model.send_next

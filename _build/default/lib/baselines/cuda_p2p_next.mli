@@ -1,0 +1,6 @@
+(** The hand-written AllToNext baseline (paper §7.4): every GPU sends its
+    whole buffer to the next GPU with NCCL's send and receive primitives —
+    one connection, one thread block, and a single InfiniBand NIC at node
+    boundaries. *)
+
+val time : Msccl_topology.Topology.t -> Nccl_model.sized_time

@@ -1,0 +1,77 @@
+open Msccl_core
+module T = Msccl_topology
+
+let shape_only ~num_ranks ~chunks name =
+  Collective.make
+    (Collective.Custom
+       {
+         Collective.custom_name = name;
+         input_chunks = chunks;
+         output_chunks = chunks;
+         expected = (fun ~rank:_ ~index:_ -> None);
+         initial = None;
+       })
+    ~num_ranks ()
+
+let time topo =
+  let n = T.Topology.num_nodes topo and g = T.Topology.gpus_per_node topo in
+  let num_ranks = n * g in
+  let rank m i = (m * g) + i in
+  (* Kernel 1: same-node deliveries and gateway staging (Fig. 9's first
+     loop), all over NVLink. *)
+  let pack =
+    Nccl_model.per_proto (fun proto ->
+        Compile.ir ~name:"cuda-two-step-pack" ~proto ~verify:false
+          (shape_only ~num_ranks ~chunks:num_ranks "two-step-pack")
+          (fun prog ->
+            for nn = 0 to n - 1 do
+              for gg = 0 to g - 1 do
+                for m = 0 to n - 1 do
+                  for i = 0 to g - 1 do
+                    let c =
+                      Program.chunk prog ~rank:(rank m i) Buffer_id.Input
+                        ~index:(rank nn gg) ()
+                    in
+                    if nn = m then
+                      ignore
+                        (Program.copy c ~rank:(rank nn gg) Buffer_id.Output
+                           ~index:(rank m i) ())
+                    else
+                      ignore
+                        (Program.copy c ~rank:(rank m gg) Buffer_id.Scratch
+                           ~index:((nn * g) + i) ())
+                  done
+                done
+              done
+            done))
+  in
+  (* Kernel 2: the aggregated IB transfers; the staged data is this
+     kernel's input (scratch image of kernel 1). *)
+  let ship =
+    Nccl_model.per_proto (fun proto ->
+        Compile.ir ~name:"cuda-two-step-ship" ~proto ~verify:false
+          (shape_only ~num_ranks ~chunks:num_ranks "two-step-ship")
+          (fun prog ->
+            for nn = 0 to n - 1 do
+              for gg = 0 to g - 1 do
+                for m = 0 to n - 1 do
+                  if nn <> m then begin
+                    let c =
+                      Program.chunk prog ~rank:(rank m gg) Buffer_id.Input
+                        ~index:(nn * g) ~count:g ()
+                    in
+                    ignore
+                      (Program.copy c ~rank:(rank nn gg) Buffer_id.Output
+                         ~index:(m * g) ())
+                  end
+                done
+              done
+            done))
+  in
+  fun ~buffer_bytes ->
+    let proto =
+      Nccl_model.protocol_for_size
+        ~bytes:(buffer_bytes /. float_of_int num_ranks *. float_of_int g)
+    in
+    let t ir = (Simulator.run_buffer ~topo ~buffer_bytes ir).Simulator.time in
+    t (pack proto) +. t (ship proto)

@@ -1,0 +1,18 @@
+(** The hand-optimized CUDA Two-Step AllToAll baseline (paper §7.3).
+
+    The expert implementation uses NCCL point-to-point primitives, but
+    needs {e a separate kernel that copies and contiguously arranges chunks
+    in a scratch buffer for the aggregated IB send, resulting in extra
+    synchronization overhead} (§7.3). The model therefore launches two
+    kernels:
+
+    - a {b pack} kernel performing every intra-node movement: direct
+      same-node deliveries plus staging chunks on the gateway GPUs;
+    - a {b ship} kernel performing the aggregated InfiniBand transfers.
+
+    Nothing pipelines across the kernel boundary, and each launch pays the
+    kernel overhead; this reproduces the deficit of the hand-written code
+    versus the single-kernel MSCCLang version. *)
+
+val time : Msccl_topology.Topology.t -> Nccl_model.sized_time
+(** [buffer_bytes] is the total AllToAll buffer per GPU (ranks chunks). *)

@@ -1,0 +1,77 @@
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+(* Each phase is traced as its own program over the full rank set (one
+   NCCL group launch per phase). Timing-only: the phase pre/postconditions
+   are intermediate states of the composed algorithm, so the collective is
+   a shape-only Custom and verification is skipped — correctness of the
+   algorithm itself is covered by Hierarchical_allreduce. *)
+let phase_coll ~num_ranks ~chunks name =
+  Collective.make
+    (Collective.Custom
+       {
+         Collective.custom_name = name;
+         input_chunks = chunks;
+         output_chunks = 1;
+         expected = (fun ~rank:_ ~index:_ -> None);
+         initial = None;
+       })
+    ~num_ranks ()
+
+let instances_for = function
+  | T.Protocol.LL -> 4
+  | T.Protocol.LL128 -> 8
+  | T.Protocol.Simple | T.Protocol.Sccl -> Nccl_model.nccl_channels
+
+let time topo =
+  let n = T.Topology.num_nodes topo and g = T.Topology.gpus_per_node topo in
+  let num_ranks = n * g in
+  let chunks = num_ranks in
+  let local_ranks node = List.init g (fun i -> (node * g) + i) in
+  let cross_ranks gpu = List.init n (fun i -> (i * g) + gpu) in
+  let phase name f =
+    Nccl_model.per_proto (fun proto ->
+        Compile.ir ~name ~proto
+          ~instances:(instances_for proto)
+          ~verify:false
+          (phase_coll ~num_ranks ~chunks name)
+          f)
+  in
+  let intra_rs =
+    phase "composed-intra-rs" (fun prog ->
+        for node = 0 to n - 1 do
+          A.Patterns.ring_reduce_scatter prog ~ranks:(local_ranks node)
+            ~offset:0 ~count:n ()
+        done)
+  in
+  let inter_rs =
+    phase "composed-inter-rs" (fun prog ->
+        for gpu = 0 to g - 1 do
+          A.Patterns.ring_reduce_scatter prog ~ranks:(cross_ranks gpu)
+            ~offset:(gpu * n) ~count:1 ()
+        done)
+  in
+  let inter_ag =
+    phase "composed-inter-ag" (fun prog ->
+        for gpu = 0 to g - 1 do
+          A.Patterns.ring_all_gather prog ~ranks:(cross_ranks gpu)
+            ~offset:(gpu * n) ~count:1 ()
+        done)
+  in
+  let intra_ag =
+    phase "composed-intra-ag" (fun prog ->
+        for node = 0 to n - 1 do
+          A.Patterns.ring_all_gather prog ~ranks:(local_ranks node) ~offset:0
+            ~count:n ()
+        done)
+  in
+  fun ~buffer_bytes ->
+    let proto = Nccl_model.protocol_for_size ~bytes:buffer_bytes in
+    List.fold_left
+      (fun acc phase ->
+        acc
+        +. (Simulator.run_buffer ~topo ~buffer_bytes (phase proto))
+             .Simulator.time)
+      0.
+      [ intra_rs; inter_rs; inter_ag; intra_ag ]

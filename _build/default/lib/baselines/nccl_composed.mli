@@ -1,0 +1,14 @@
+(** The hierarchical AllReduce composed from four NCCL collective calls
+    (the red line of Fig. 8c/8d).
+
+    Works like DeepSpeed-style hierarchical compositions: an intra-node
+    ReduceScatter kernel, an inter-node ReduceScatter kernel, an inter-node
+    AllGather kernel and an intra-node AllGather kernel, launched back to
+    back. Each launch pays the kernel overhead and — crucially — tiles
+    cannot pipeline across kernel boundaries, which is exactly the deficit
+    §7.2 attributes to this implementation versus the single-kernel
+    MSCCLang version. *)
+
+val time : Msccl_topology.Topology.t -> Nccl_model.sized_time
+(** Sum of the four phases' simulated times at NCCL's static protocol for
+    the buffer size. *)

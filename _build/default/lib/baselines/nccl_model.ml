@@ -1,0 +1,87 @@
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+type sized_time = buffer_bytes:float -> float
+
+let nccl_channels = 24
+
+let protocol_for_size ~bytes =
+  if bytes <= 65536. then T.Protocol.LL
+  else if bytes <= 2_097_152. then T.Protocol.LL128
+  else T.Protocol.Simple
+
+(* Compile each protocol variant once, on first use. *)
+let per_proto make =
+  let cache = Hashtbl.create 4 in
+  fun proto ->
+    match Hashtbl.find_opt cache proto with
+    | Some ir -> ir
+    | None ->
+        let ir = make proto in
+        Hashtbl.add cache proto ir;
+        ir
+
+(* NCCL's rings: node-major rank order, with the intra-node order rotated
+   per ring so consecutive rings leave each node through a different GPU
+   (and hence a different NIC). *)
+let nccl_rings topo =
+  let n = T.Topology.num_nodes topo and g = T.Topology.gpus_per_node topo in
+  Array.init nccl_channels (fun k ->
+      List.concat_map
+        (fun node -> List.init g (fun i -> (node * g) + ((i + k) mod g)))
+        (List.init n Fun.id))
+
+let allreduce topo =
+  let num_ranks = T.Topology.num_ranks topo in
+  let rings = nccl_rings topo in
+  let ring =
+    per_proto (fun proto ->
+        A.Ring_allreduce.ir_multi ~proto ~verify:false ~rings ())
+  in
+  let tree =
+    per_proto (fun proto ->
+        A.Tree_allreduce.ir ~proto ~channels:2 ~chunk_factor:4 ~instances:2
+          ~verify:false ~num_ranks ())
+  in
+  let multi_node = T.Topology.num_nodes topo > 1 in
+  fun ~buffer_bytes ->
+    let proto = protocol_for_size ~bytes:buffer_bytes in
+    let time ir = (Simulator.run_buffer ~topo ~buffer_bytes ir).Simulator.time in
+    let ring_time = time (ring proto) in
+    if multi_node then Float.min ring_time (time (tree proto)) else ring_time
+
+let alltoall topo =
+  let num_ranks = T.Topology.num_ranks topo in
+  let naive =
+    per_proto (fun proto ->
+        A.Alltoall_naive.ir ~proto ~verify:false ~num_ranks ())
+  in
+  fun ~buffer_bytes ->
+    let proto = protocol_for_size ~bytes:(buffer_bytes /. float_of_int num_ranks) in
+    (* A naive p2p transfer is a single hop: tiling would only split
+       messages without enabling any pipelining, so one tile suffices. *)
+    (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles:1
+       ~check_occupancy:false (naive proto))
+      .Simulator.time
+
+let send_next topo =
+  let num_ranks = T.Topology.num_ranks topo in
+  let g = T.Topology.gpus_per_node topo in
+  let coll =
+    Collective.make Collective.Alltonext ~num_ranks ~chunk_factor:g ()
+  in
+  let make proto =
+    Compile.ir ~name:"p2p-next" ~proto ~verify:false coll (fun prog ->
+        for r = 0 to num_ranks - 2 do
+          let c =
+            Program.chunk prog ~rank:r Buffer_id.Input ~index:0 ~count:g ()
+          in
+          ignore (Program.copy c ~rank:(r + 1) Buffer_id.Output ~index:0 ())
+        done)
+  in
+  let cached = per_proto make in
+  fun ~buffer_bytes ->
+    let proto = protocol_for_size ~bytes:buffer_bytes in
+    (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles:1 (cached proto))
+      .Simulator.time

@@ -1,0 +1,8 @@
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+let allgather_122 topo =
+  let ir = A.Allgather_sccl.ir ~proto:T.Protocol.Sccl () in
+  fun ~buffer_bytes ->
+    (Msccl_core.Simulator.run_buffer ~topo ~buffer_bytes ir)
+      .Msccl_core.Simulator.time

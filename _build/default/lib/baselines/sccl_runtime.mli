@@ -1,0 +1,13 @@
+(** The SCCL runtime (paper §7.5).
+
+    SCCL implements its synthesized algorithms with its own point-to-point
+    protocol: a direct copy from source to destination buffer over NVLink,
+    with no intermediate FIFO slots — a smaller memory footprint than
+    MSCCLang's Simple protocol (the reason SCCL wins the middle sizes of
+    Fig. 11) but without LL's low-latency flags (the reason MSCCLang LL
+    wins the small sizes). Modelled as the {!Msccl_topology.Protocol.Sccl}
+    protocol applied to the same (1,2,2) AllGather IR. *)
+
+val allgather_122 : Msccl_topology.Topology.t -> Nccl_model.sized_time
+(** Latency of the (1,2,2) AllGather on the given (DGX-1) topology under
+    the SCCL runtime; [buffer_bytes] is the per-GPU contribution size. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Format Hashtbl Instr Int Ir List Option Queue

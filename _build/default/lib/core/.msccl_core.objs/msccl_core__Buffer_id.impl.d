@@ -1,0 +1,1 @@
+lib/core/buffer_id.ml: Format Stdlib String

@@ -1,0 +1,1 @@
+lib/core/chunk_dag.ml: Array Buffer_id Collective Format List Loc Printf String

@@ -1,0 +1,1 @@
+lib/core/chunk_dag.mli: Collective Format Loc

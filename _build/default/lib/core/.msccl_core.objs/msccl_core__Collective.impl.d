@@ -1,0 +1,1 @@
+lib/core/collective.ml: Chunk Format List String

@@ -1,0 +1,1 @@
+lib/core/collective.mli: Chunk Format

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Chunk_dag Format Fusion Instances Instr_dag Ir Program Schedule Verify

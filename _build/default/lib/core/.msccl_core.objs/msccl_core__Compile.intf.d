@@ -1,0 +1,1 @@
+lib/core/compile.mli: Chunk_dag Collective Format Fusion Ir Msccl_topology Program

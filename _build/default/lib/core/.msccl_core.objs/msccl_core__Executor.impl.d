@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Buffer Buffer_id Chunk Collective Format Hashtbl Instr Ir List Loc Msccl_topology Option Printf Queue

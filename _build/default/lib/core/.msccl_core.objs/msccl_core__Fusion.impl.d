@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Array Format Instr Instr_dag Int List Loc Option

@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Format Instr_dag

@@ -1,0 +1,1 @@
+lib/core/instances.ml: Array Buffer_id Chunk Collective Format Ir List Loc Option Printf

@@ -1,0 +1,1 @@
+lib/core/instr_dag.ml: Array Buffer_id Chunk_dag Collective Format Hashtbl Instr Int List Loc Option Queue

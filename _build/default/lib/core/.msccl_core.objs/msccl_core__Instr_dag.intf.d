@@ -1,0 +1,1 @@
+lib/core/instr_dag.mli: Chunk_dag Collective Format Instr

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Array Buffer_id Collective Format Hashtbl Instr List Loc Msccl_topology Option Printf String

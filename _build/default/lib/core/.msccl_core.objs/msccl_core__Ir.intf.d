@@ -1,0 +1,1 @@
+lib/core/ir.mli: Collective Format Instr Loc Msccl_topology

@@ -1,0 +1,1 @@
+lib/core/loc.ml: Buffer_id Format List

@@ -1,0 +1,1 @@
+lib/core/program.ml: Array Buffer_id Chunk Chunk_dag Collective Format Hashtbl Int List Loc

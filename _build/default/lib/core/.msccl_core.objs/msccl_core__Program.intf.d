@@ -1,0 +1,1 @@
+lib/core/program.mli: Buffer_id Chunk_dag Collective

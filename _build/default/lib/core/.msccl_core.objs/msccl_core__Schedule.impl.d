@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Collective Format Hashtbl Instr Instr_dag Ir List Msccl_sim Msccl_topology Option Queue Union_find

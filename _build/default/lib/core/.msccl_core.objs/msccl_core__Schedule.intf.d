@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Instr_dag Ir Msccl_topology

@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Buffer Collective Format Hashtbl Instr Ir List Msccl_sim Msccl_topology Printf Queue Timeline

@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Ir Msccl_topology Timeline

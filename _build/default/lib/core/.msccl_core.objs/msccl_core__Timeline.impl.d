@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Buffer Char Fun List Printf String

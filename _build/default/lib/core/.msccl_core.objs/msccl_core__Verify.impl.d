@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Chunk Collective Executor Format Hashtbl Instr Ir List Msccl_topology Option Printf Queue

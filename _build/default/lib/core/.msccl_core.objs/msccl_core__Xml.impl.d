@@ -1,0 +1,1 @@
+lib/core/xml.ml: Array Buffer Buffer_id Collective Format Fun Instr Ir List Loc Msccl_topology String

@@ -1,0 +1,176 @@
+type connection = {
+  conn_src : int;
+  conn_dst : int;
+  conn_chan : int;
+  conn_messages : int;
+  conn_chunks : int;
+}
+
+type t = {
+  ranks : int;
+  total_steps : int;
+  total_thread_blocks : int;
+  channels : int;
+  critical_path : int;
+  max_steps_per_tb : int;
+  avg_steps_per_tb : float;
+  fused_steps : int;
+  reduction_steps : int;
+  local_steps : int;
+  connections : connection list;
+  max_chunks_per_connection : int;
+  scratch_chunks_total : int;
+}
+
+(* Longest path over the same waiting graph the deadlock checker uses,
+   minus the FIFO back-pressure edges (which bound buffering, not data
+   flow). *)
+let critical_path_of (ir : Ir.t) =
+  let base = Hashtbl.create 64 in
+  let total = ref 0 in
+  Array.iter
+    (fun (g : Ir.gpu) ->
+      Array.iter
+        (fun (tb : Ir.tb) ->
+          Hashtbl.add base (g.Ir.gpu_id, tb.Ir.tb_id) !total;
+          total := !total + Array.length tb.Ir.steps)
+        g.Ir.tbs)
+    ir.Ir.gpus;
+  let n = !total in
+  let node gpu tb step = Hashtbl.find base (gpu, tb) + step in
+  let adj = Array.make n [] in
+  let edge a b = adj.(a) <- b :: adj.(a) in
+  let sends = Hashtbl.create 32 and recvs = Hashtbl.create 32 in
+  let push tbl key v =
+    Hashtbl.replace tbl key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  Ir.iter_steps ir (fun g tb st ->
+      let me = node g.Ir.gpu_id tb.Ir.tb_id st.Ir.s in
+      if st.Ir.s > 0 then edge (node g.Ir.gpu_id tb.Ir.tb_id (st.Ir.s - 1)) me;
+      List.iter
+        (fun (dtb, dstep) -> edge (node g.Ir.gpu_id dtb dstep) me)
+        st.Ir.depends;
+      if Instr.sends st.Ir.op then
+        push sends (g.Ir.gpu_id, tb.Ir.send, tb.Ir.chan) me;
+      if Instr.receives st.Ir.op then
+        push recvs (tb.Ir.recv, g.Ir.gpu_id, tb.Ir.chan) me);
+  Hashtbl.iter
+    (fun key send_nodes ->
+      let ss = Array.of_list (List.rev send_nodes) in
+      let rs =
+        Array.of_list
+          (List.rev (Option.value ~default:[] (Hashtbl.find_opt recvs key)))
+      in
+      Array.iteri
+        (fun k s -> if k < Array.length rs then edge s rs.(k))
+        ss)
+    sends;
+  (* Longest path via Kahn order. *)
+  let indeg = Array.make n 0 in
+  Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) adj;
+  let q = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+  let dist = Array.make n 1 in
+  let best = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    if dist.(i) > !best then best := dist.(i);
+    List.iter
+      (fun b ->
+        if dist.(i) + 1 > dist.(b) then dist.(b) <- dist.(i) + 1;
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then Queue.add b q)
+      adj.(i)
+  done;
+  !best
+
+let analyze (ir : Ir.t) =
+  let conn_tbl = Hashtbl.create 32 in
+  let fused = ref 0 and reductions = ref 0 and locals = ref 0 in
+  Ir.iter_steps ir (fun g tb st ->
+      (match st.Ir.op with
+      | Instr.Recv_copy_send | Instr.Recv_reduce_send
+      | Instr.Recv_reduce_copy_send ->
+          incr fused
+      | Instr.Send | Instr.Recv | Instr.Copy | Instr.Reduce
+      | Instr.Recv_reduce_copy | Instr.Nop ->
+          ());
+      (match st.Ir.op with
+      | Instr.Reduce | Instr.Recv_reduce_copy | Instr.Recv_reduce_send
+      | Instr.Recv_reduce_copy_send ->
+          incr reductions
+      | Instr.Send | Instr.Recv | Instr.Copy | Instr.Recv_copy_send
+      | Instr.Nop ->
+          ());
+      (match st.Ir.op with
+      | Instr.Copy | Instr.Reduce -> incr locals
+      | Instr.Send | Instr.Recv | Instr.Recv_reduce_copy
+      | Instr.Recv_copy_send | Instr.Recv_reduce_send
+      | Instr.Recv_reduce_copy_send | Instr.Nop ->
+          ());
+      if Instr.sends st.Ir.op then begin
+        let key = (g.Ir.gpu_id, tb.Ir.send, tb.Ir.chan) in
+        let msgs, chunks =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt conn_tbl key)
+        in
+        Hashtbl.replace conn_tbl key (msgs + 1, chunks + st.Ir.count)
+      end);
+  let connections =
+    Hashtbl.fold
+      (fun (src, dst, chan) (msgs, chunks) acc ->
+        {
+          conn_src = src;
+          conn_dst = dst;
+          conn_chan = chan;
+          conn_messages = msgs;
+          conn_chunks = chunks;
+        }
+        :: acc)
+      conn_tbl []
+    |> List.sort (fun a b ->
+           match Int.compare b.conn_chunks a.conn_chunks with
+           | 0 -> compare (a.conn_src, a.conn_dst, a.conn_chan)
+                    (b.conn_src, b.conn_dst, b.conn_chan)
+           | c -> c)
+  in
+  let tbs = Ir.num_thread_blocks ir in
+  let steps = Ir.num_steps ir in
+  let max_steps =
+    Array.fold_left
+      (fun m (g : Ir.gpu) ->
+        Array.fold_left (fun m tb -> max m (Array.length tb.Ir.steps)) m g.Ir.tbs)
+      0 ir.Ir.gpus
+  in
+  {
+    ranks = Ir.num_ranks ir;
+    total_steps = steps;
+    total_thread_blocks = tbs;
+    channels = Ir.num_channels ir;
+    critical_path = critical_path_of ir;
+    max_steps_per_tb = max_steps;
+    avg_steps_per_tb =
+      (if tbs = 0 then 0. else float_of_int steps /. float_of_int tbs);
+    fused_steps = !fused;
+    reduction_steps = !reductions;
+    local_steps = !locals;
+    connections;
+    max_chunks_per_connection =
+      List.fold_left (fun m c -> max m c.conn_chunks) 0 connections;
+    scratch_chunks_total =
+      Array.fold_left (fun acc g -> acc + g.Ir.scratch_chunks) 0 ir.Ir.gpus;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%d rank(s), %d thread block(s), %d step(s), %d channel(s)@,\
+     critical path: %d step(s)@,\
+     steps per thread block: max %d, avg %.1f@,\
+     fused: %d, reductions: %d, local: %d@,\
+     connections: %d (busiest carries %d chunk(s))@,\
+     scratch: %d chunk(s) total@]"
+    t.ranks t.total_thread_blocks t.total_steps t.channels t.critical_path
+    t.max_steps_per_tb t.avg_steps_per_tb t.fused_steps t.reduction_steps
+    t.local_steps
+    (List.length t.connections)
+    t.max_chunks_per_connection t.scratch_chunks_total

@@ -1,0 +1,29 @@
+type t =
+  | Input
+  | Output
+  | Scratch
+
+let all = [ Input; Output; Scratch ]
+
+let name = function
+  | Input -> "i"
+  | Output -> "o"
+  | Scratch -> "s"
+
+let long_name = function
+  | Input -> "input"
+  | Output -> "output"
+  | Scratch -> "scratch"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "i" | "in" | "input" -> Some Input
+  | "o" | "out" | "output" -> Some Output
+  | "s" | "sc" | "scratch" -> Some Scratch
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp fmt t = Format.pp_print_string fmt (long_name t)

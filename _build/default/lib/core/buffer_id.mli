@@ -1,0 +1,30 @@
+(** The three named GPU buffers visible to MSCCLang programs (paper §3.1).
+
+    - [Input] contains the collective's input data;
+    - [Output] is uninitialized and receives the result;
+    - [Scratch] is uninitialized temporary storage whose size is deduced
+      from the highest index a program accesses.
+
+    In-place algorithms alias [Input] and [Output]. *)
+
+type t =
+  | Input
+  | Output
+  | Scratch
+
+val all : t list
+
+val name : t -> string
+(** Short name used in MSCCL-IR XML: ["i"], ["o"], ["s"]. *)
+
+val long_name : t -> string
+(** ["input"], ["output"], ["scratch"]. *)
+
+val of_name : string -> t option
+(** Accepts both short and long names, case-insensitive. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

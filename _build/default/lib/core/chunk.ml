@@ -1,0 +1,66 @@
+type t =
+  | Uninit
+  | Val of (int * int) list  (* sorted multiset of (rank, index) inputs *)
+
+exception Uninitialized_data
+
+let uninit = Uninit
+
+let input ~rank ~index = Val [ (rank, index) ]
+
+let cmp_id (r1, i1) (r2, i2) =
+  match Int.compare r1 r2 with 0 -> Int.compare i1 i2 | c -> c
+
+(* Merge of two sorted multisets, keeping duplicates. *)
+let rec merge a b =
+  match (a, b) with
+  | [], ys -> ys
+  | xs, [] -> xs
+  | x :: xs, y :: ys ->
+      if cmp_id x y <= 0 then x :: merge xs (y :: ys)
+      else y :: merge (x :: xs) ys
+
+let reduce a b =
+  match (a, b) with
+  | Uninit, _ | _, Uninit -> raise Uninitialized_data
+  | Val xs, Val ys -> Val (merge xs ys)
+
+let reduce_many = function
+  | [] -> invalid_arg "Chunk.reduce_many: empty list"
+  | c :: cs -> List.fold_left reduce c cs
+
+let is_uninit = function Uninit -> true | Val _ -> false
+
+let inputs = function Uninit -> None | Val xs -> Some xs
+
+let allreduce_expected ~num_ranks ~index =
+  Val (List.init num_ranks (fun rank -> (rank, index)))
+
+let equal a b =
+  match (a, b) with
+  | Uninit, Uninit -> true
+  | Val xs, Val ys -> xs = ys
+  | Uninit, Val _ | Val _, Uninit -> false
+
+let compare a b =
+  match (a, b) with
+  | Uninit, Uninit -> 0
+  | Uninit, Val _ -> -1
+  | Val _, Uninit -> 1
+  | Val xs, Val ys -> Stdlib.compare xs ys
+
+let hash = function
+  | Uninit -> 0
+  | Val xs -> Hashtbl.hash xs
+
+let pp fmt = function
+  | Uninit -> Format.pp_print_string fmt "?"
+  | Val [ (r, i) ] -> Format.fprintf fmt "c(%d,%d)" r i
+  | Val xs ->
+      Format.fprintf fmt "sum{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "+")
+           (fun fmt (r, i) -> Format.fprintf fmt "(%d,%d)" r i))
+        xs
+
+let to_string t = Format.asprintf "%a" pp t

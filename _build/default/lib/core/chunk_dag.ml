@@ -1,0 +1,76 @@
+type op =
+  | Copy_op
+  | Reduce_op
+
+type node = {
+  id : int;
+  op : op;
+  src : Loc.t;
+  dst : Loc.t;
+  ch : int option;
+  deps : int list;
+}
+
+type t = {
+  name : string;
+  collective : Collective.t;
+  nodes : node array;
+  scratch_sizes : int array;
+}
+
+let num_nodes t = Array.length t.nodes
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Chunk_dag.node: id out of range";
+  t.nodes.(id)
+
+let iter t f = Array.iter f t.nodes
+
+let is_remote n = n.src.Loc.rank <> n.dst.Loc.rank
+
+let buffer_size t ~rank ~buf =
+  match buf with
+  | Buffer_id.Input -> Collective.input_buffer_size t.collective
+  | Buffer_id.Output -> Collective.output_buffer_size t.collective
+  | Buffer_id.Scratch -> t.scratch_sizes.(rank)
+
+let check_loc t (l : Loc.t) =
+  let ranks = t.collective.Collective.num_ranks in
+  if l.Loc.rank < 0 || l.Loc.rank >= ranks then
+    invalid_arg "Chunk_dag: rank out of range";
+  let size = buffer_size t ~rank:l.Loc.rank ~buf:l.Loc.buf in
+  if l.Loc.index + l.Loc.count > size then
+    invalid_arg "Chunk_dag: location exceeds buffer"
+
+let validate t =
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then invalid_arg "Chunk_dag: non-dense ids";
+      if n.src.Loc.count <> n.dst.Loc.count then
+        invalid_arg "Chunk_dag: count mismatch";
+      check_loc t n.src;
+      check_loc t n.dst;
+      List.iter
+        (fun d ->
+          if d < 0 || d >= i then invalid_arg "Chunk_dag: bad dependency")
+        n.deps)
+    t.nodes
+
+let pp_op fmt = function
+  | Copy_op -> Format.pp_print_string fmt "copy"
+  | Reduce_op -> Format.pp_print_string fmt "reduce"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>chunk-dag %s (%a), %d node(s)@," t.name
+    Collective.pp t.collective (num_nodes t);
+  Array.iter
+    (fun n ->
+      Format.fprintf fmt "  %3d: %a %a -> %a%s deps=[%s]@," n.id pp_op n.op
+        Loc.pp n.src Loc.pp n.dst
+        (match n.ch with
+        | None -> ""
+        | Some c -> Printf.sprintf " ch=%d" c)
+        (String.concat "," (List.map string_of_int n.deps)))
+    t.nodes;
+  Format.fprintf fmt "@]"

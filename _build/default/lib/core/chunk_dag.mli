@@ -1,0 +1,43 @@
+(** The Chunk DAG produced by tracing a MSCCLang program (paper §4.1).
+
+    Nodes are the program's copy and reduce operations; edges are the
+    dependencies that arise from chunk movement (true dependencies) and
+    from reusing buffer indices (false/anti dependencies). Node ids are the
+    sequential trace order, so id order is always a valid topological
+    order. *)
+
+type op =
+  | Copy_op  (** [dst := src] *)
+  | Reduce_op  (** [dst := dst ⊕ src] (in-place point-wise reduction) *)
+
+type node = {
+  id : int;
+  op : op;
+  src : Loc.t;
+  dst : Loc.t;
+  ch : int option;  (** User channel directive on the chunk operation. *)
+  deps : int list;  (** Ids of nodes that must execute before this one. *)
+}
+
+type t = {
+  name : string;
+  collective : Collective.t;
+  nodes : node array;  (** Indexed by id. *)
+  scratch_sizes : int array;  (** Per-rank scratch buffer size in chunks. *)
+}
+
+val num_nodes : t -> int
+
+val node : t -> int -> node
+
+val iter : t -> (node -> unit) -> unit
+
+val is_remote : node -> bool
+(** True when the operation crosses ranks (src rank <> dst rank). *)
+
+val validate : t -> unit
+(** Checks ids are dense, deps point backwards, and locations are in range
+    for the collective's buffers. Raises [Invalid_argument] otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line dump for debugging and golden tests. *)

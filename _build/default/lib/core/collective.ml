@@ -1,0 +1,167 @@
+type kind =
+  | Allreduce
+  | Allgather
+  | Reduce_scatter
+  | Alltoall
+  | Alltonext
+  | Broadcast of int
+  | Reduce of int
+  | Gather of int
+  | Scatter of int
+  | Custom of custom
+
+and custom = {
+  custom_name : string;
+  input_chunks : int;
+  output_chunks : int;
+  expected : rank:int -> index:int -> Chunk.t option;
+  initial : (rank:int -> index:int -> Chunk.t) option;
+}
+
+type t = {
+  kind : kind;
+  num_ranks : int;
+  chunk_factor : int;
+  inplace : bool;
+}
+
+let kind_name = function
+  | Allreduce -> "allreduce"
+  | Allgather -> "allgather"
+  | Reduce_scatter -> "reducescatter"
+  | Alltoall -> "alltoall"
+  | Alltonext -> "alltonext"
+  | Broadcast _ -> "broadcast"
+  | Reduce _ -> "reduce"
+  | Gather _ -> "gather"
+  | Scatter _ -> "scatter"
+  | Custom c -> c.custom_name
+
+let kind_of_name s =
+  match String.lowercase_ascii s with
+  | "allreduce" -> Some Allreduce
+  | "allgather" -> Some Allgather
+  | "reducescatter" | "reduce_scatter" -> Some Reduce_scatter
+  | "alltoall" -> Some Alltoall
+  | "alltonext" -> Some Alltonext
+  | "broadcast" -> Some (Broadcast 0)
+  | "reduce" -> Some (Reduce 0)
+  | "gather" -> Some (Gather 0)
+  | "scatter" -> Some (Scatter 0)
+  | _ -> None
+
+let name t = kind_name t.kind
+
+let input_chunks t =
+  let c = t.chunk_factor and r = t.num_ranks in
+  match t.kind with
+  | Allreduce | Allgather | Alltonext | Broadcast _ | Reduce _ | Gather _ -> c
+  | Reduce_scatter | Alltoall | Scatter _ -> r * c
+  | Custom cu -> cu.input_chunks
+
+let output_chunks t =
+  let c = t.chunk_factor and r = t.num_ranks in
+  match t.kind with
+  | Allreduce | Reduce_scatter | Alltonext | Broadcast _ | Reduce _
+  | Scatter _ ->
+      c
+  | Allgather | Alltoall | Gather _ -> r * c
+  | Custom cu -> cu.output_chunks
+
+let input_buffer_size t =
+  if t.inplace then max (input_chunks t) (output_chunks t) else input_chunks t
+
+let output_buffer_size t =
+  if t.inplace then max (input_chunks t) (output_chunks t) else output_chunks t
+
+let root_of = function
+  | Broadcast r | Reduce r | Gather r | Scatter r -> Some r
+  | Allreduce | Allgather | Reduce_scatter | Alltoall | Alltonext | Custom _ ->
+      None
+
+let make kind ~num_ranks ?(chunk_factor = 1) ?(inplace = false) () =
+  if num_ranks <= 0 then invalid_arg "Collective.make: num_ranks <= 0";
+  if chunk_factor <= 0 then invalid_arg "Collective.make: chunk_factor <= 0";
+  (match root_of kind with
+  | Some r when r < 0 || r >= num_ranks ->
+      invalid_arg "Collective.make: root out of range"
+  | Some _ | None -> ());
+  (match kind with
+  | Custom c ->
+      if chunk_factor <> 1 then
+        invalid_arg "Collective.make: custom collectives fix their own chunks";
+      if c.input_chunks <= 0 || c.output_chunks <= 0 then
+        invalid_arg "Collective.make: custom collective with empty buffers"
+  | Allreduce | Allgather | Reduce_scatter | Alltoall | Alltonext
+  | Broadcast _ | Reduce _ | Gather _ | Scatter _ ->
+      ());
+  { kind; num_ranks; chunk_factor; inplace }
+
+(* Initial contents of the input buffer. When in-place and the output shape
+   is wider than the input (AllGather/Gather), each rank's contribution sits
+   at its final position, per MPI_IN_PLACE. *)
+let precondition t ~rank ~index =
+  let c = t.chunk_factor in
+  let size = input_buffer_size t in
+  if index < 0 || index >= size then
+    invalid_arg "Collective.precondition: index out of range";
+  match t.kind with
+  | (Allgather | Gather _) when t.inplace ->
+      if index >= rank * c && index < (rank + 1) * c then
+        Chunk.input ~rank ~index:(index - (rank * c))
+      else Chunk.uninit
+  | Custom { initial = Some f; _ } -> f ~rank ~index
+  | Allreduce | Allgather | Reduce_scatter | Alltoall | Alltonext
+  | Broadcast _ | Reduce _ | Gather _ | Scatter _ | Custom _ ->
+      if index < input_chunks t then Chunk.input ~rank ~index else Chunk.uninit
+
+let sum_over_ranks t ~index =
+  Chunk.reduce_many
+    (List.init t.num_ranks (fun q -> Chunk.input ~rank:q ~index))
+
+(* Postcondition of the (possibly shared) output buffer. *)
+let postcondition t ~rank ~index =
+  let c = t.chunk_factor in
+  let size = output_buffer_size t in
+  if index < 0 || index >= size then
+    invalid_arg "Collective.postcondition: index out of range";
+  match t.kind with
+  | Allreduce -> Some (sum_over_ranks t ~index)
+  | Allgather -> Some (Chunk.input ~rank:(index / c) ~index:(index mod c))
+  | Reduce_scatter ->
+      if t.inplace then
+        (* The shared buffer is R*C wide; only rank's own segment is
+           constrained. *)
+        if index >= rank * c && index < (rank + 1) * c then
+          Some (sum_over_ranks t ~index)
+        else None
+      else Some (sum_over_ranks t ~index:((rank * c) + index))
+  | Alltoall ->
+      (* out[j*C + i] on rank r held chunk (r*C + i) of rank j's input. *)
+      Some (Chunk.input ~rank:(index / c) ~index:((rank * c) + (index mod c)))
+  | Alltonext ->
+      if rank = 0 then None else Some (Chunk.input ~rank:(rank - 1) ~index)
+  | Broadcast root -> Some (Chunk.input ~rank:root ~index)
+  | Reduce root -> if rank = root then Some (sum_over_ranks t ~index) else None
+  | Gather root ->
+      if rank = root then
+        Some (Chunk.input ~rank:(index / c) ~index:(index mod c))
+      else None
+  | Scatter root -> Some (Chunk.input ~rank:root ~index:((rank * c) + index))
+  | Custom cu -> cu.expected ~rank ~index
+
+let equal_shape a b =
+  a.num_ranks = b.num_ranks && a.chunk_factor = b.chunk_factor
+  && a.inplace = b.inplace
+  &&
+  match (a.kind, b.kind) with
+  | Custom x, Custom y ->
+      x.custom_name = y.custom_name
+      && x.input_chunks = y.input_chunks
+      && x.output_chunks = y.output_chunks
+  | k1, k2 -> k1 = k2
+
+let pp fmt t =
+  Format.fprintf fmt "%s(ranks=%d, chunks=%d%s)" (name t) t.num_ranks
+    t.chunk_factor
+    (if t.inplace then ", inplace" else "")

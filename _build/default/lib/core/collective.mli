@@ -1,0 +1,99 @@
+(** Collectives as pre/postconditions over chunks (paper §3.2).
+
+    A collective defines the starting state of every rank's input buffer
+    (the precondition) and the required final state of every rank's output
+    buffer (the postcondition), both in the chunk algebra. The algorithm —
+    not the collective — chooses the chunk granularity [chunk_factor] and
+    whether the input and output buffers alias (in-place).
+
+    For a given [chunk_factor] C and R ranks, buffer shapes are:
+
+    {v
+    collective      input chunks   output chunks   postcondition at out[j]
+    AllReduce       C              C               sum over q of (q, j)
+    AllGather       C              R*C             (j / C, j mod C)
+    ReduceScatter   R*C            C               sum over q of (q, r*C + j)
+    AllToAll        R*C            R*C             (j / C, r*C + j mod C)
+    AllToNext       C              C               (r-1, j); rank 0 free
+    Broadcast(root) C              C               (root, j)
+    Reduce(root)    C              C               sum at root only
+    Gather(root)    C              R*C             (j/C, j mod C) at root
+    Scatter(root)   R*C            C               (root, r*C + j)
+    v}
+
+    where [r] is the rank owning the buffer. [Custom] collectives supply
+    their own shapes and postcondition, which is how new collectives such
+    as the paper's AllToNext are defined by users (§7.4 — AllToNext itself
+    is built in here because the evaluation uses it). *)
+
+type kind =
+  | Allreduce
+  | Allgather
+  | Reduce_scatter
+  | Alltoall
+  | Alltonext
+  | Broadcast of int  (** root rank *)
+  | Reduce of int  (** root rank *)
+  | Gather of int  (** root rank *)
+  | Scatter of int  (** root rank *)
+  | Custom of custom
+
+and custom = {
+  custom_name : string;
+  input_chunks : int;  (** per rank, already scaled by the algorithm *)
+  output_chunks : int;
+  expected : rank:int -> index:int -> Chunk.t option;
+      (** Postcondition for the output buffer; [None] = unconstrained. *)
+  initial : (rank:int -> index:int -> Chunk.t) option;
+      (** Optional custom precondition over the input buffer; when [None],
+          every input position [i] holds the input chunk [(rank, i)]. *)
+}
+
+type t = private {
+  kind : kind;
+  num_ranks : int;
+  chunk_factor : int;
+  inplace : bool;
+}
+
+val make : kind -> num_ranks:int -> ?chunk_factor:int -> ?inplace:bool -> unit -> t
+(** [chunk_factor] defaults to 1. Raises [Invalid_argument] for nonpositive
+    dimensions, out-of-range roots, in-place collectives whose input and
+    output shapes differ, or a [Custom] kind combined with
+    [chunk_factor <> 1]. *)
+
+val name : t -> string
+(** Lower-case collective name, e.g. ["allreduce"]. *)
+
+val kind_of_name : string -> kind option
+(** Parses built-in collective names (roots default to 0). *)
+
+val input_chunks : t -> int
+(** Number of logical input chunks per rank (the shape column above). *)
+
+val output_chunks : t -> int
+(** Number of logical output chunks per rank. *)
+
+val input_buffer_size : t -> int
+(** Allocated size of the input buffer. Equals {!input_chunks} when
+    out-of-place; for in-place collectives the single shared buffer is
+    [max input_chunks output_chunks] chunks wide. *)
+
+val output_buffer_size : t -> int
+(** Allocated size of the output buffer (shared with the input buffer when
+    in-place). *)
+
+val precondition : t -> rank:int -> index:int -> Chunk.t
+(** Initial contents of the input buffer. For in-place collectives whose
+    output is wider than their input (e.g. AllGather), the input data sits
+    at its final position ([rank * C + i]) and other indices start
+    uninitialized, matching MPI's [IN_PLACE] convention. *)
+
+val postcondition : t -> rank:int -> index:int -> Chunk.t option
+(** Required final contents of the output buffer ([None] = don't care). *)
+
+val equal_shape : t -> t -> bool
+(** Same kind/ranks/chunking/aliasing (custom collectives compare by name
+    and shape). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type report = {
+  chunk_ops : int;
+  instrs_before_fusion : int;
+  fusion : Fusion.stats;
+  instrs_after_fusion : int;
+  ir : Ir.t;
+}
+
+let compile_dag ?(fuse = true) ?proto ?(instances = 1) ?(verify = true) dag =
+  let idag = Instr_dag.of_chunk_dag dag in
+  let before = Instr_dag.num_live idag in
+  let fusion =
+    if fuse then Fusion.fuse idag else { Fusion.rcs = 0; rrcs = 0; rrs = 0 }
+  in
+  let after = Instr_dag.num_live idag in
+  let ir = Schedule.run ?proto idag in
+  let ir = Instances.blocked ir ~instances in
+  if verify then Verify.check_exn ir;
+  {
+    chunk_ops = Chunk_dag.num_nodes dag;
+    instrs_before_fusion = before;
+    fusion;
+    instrs_after_fusion = after;
+    ir;
+  }
+
+let compile ?name ?fuse ?proto ?instances ?verify coll f =
+  let dag = Program.trace ?name coll f in
+  compile_dag ?fuse ?proto ?instances ?verify dag
+
+let ir ?name ?fuse ?proto ?instances ?verify coll f =
+  (compile ?name ?fuse ?proto ?instances ?verify coll f).ir
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%s@ chunk ops: %d, instrs: %d -> %d after fusion (%a)" (Ir.summary r.ir)
+    r.chunk_ops r.instrs_before_fusion r.instrs_after_fusion Fusion.pp_stats
+    r.fusion

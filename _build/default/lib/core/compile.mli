@@ -1,0 +1,49 @@
+(** The end-to-end MSCCLang compiler pipeline (paper Fig. 2):
+
+    DSL program → tracing (Chunk DAG) → lowering (Instruction DAG) →
+    instruction fusion → scheduling → MSCCL-IR → optional whole-program
+    replication → verification. *)
+
+type report = {
+  chunk_ops : int;  (** Chunk DAG nodes traced. *)
+  instrs_before_fusion : int;
+  fusion : Fusion.stats;
+  instrs_after_fusion : int;
+  ir : Ir.t;
+}
+
+val compile_dag :
+  ?fuse:bool ->
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  Chunk_dag.t ->
+  report
+(** Lowers, fuses ([fuse] defaults to [true]), schedules, replicates
+    ([instances] defaults to 1, blocked layout) and — unless [verify] is
+    [false] — checks the result with {!Verify.check} (raising [Failure] on
+    any violation). *)
+
+val compile :
+  ?name:string ->
+  ?fuse:bool ->
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  Collective.t ->
+  (Program.t -> unit) ->
+  report
+(** Traces the program and runs {!compile_dag}. *)
+
+val ir :
+  ?name:string ->
+  ?fuse:bool ->
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  Collective.t ->
+  (Program.t -> unit) ->
+  Ir.t
+(** Shorthand for [(compile ... ).ir]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,160 @@
+type stats = {
+  rcs : int;
+  rrcs : int;
+  rrs : int;
+}
+
+let total s = s.rcs + s.rrcs + s.rrs
+
+let pp_stats fmt s =
+  Format.fprintf fmt "rcs=%d rrcs=%d rrs=%d" s.rcs s.rrcs s.rrs
+
+(* Channels are compatible when equal or when at least one is yet
+   unassigned; the fused instruction takes the specified one. *)
+let unify_ch a b =
+  match (a, b) with
+  | None, c | c, None -> Some c
+  | Some x, Some y -> if x = y then Some a else None
+
+(* Rewire references to the dead instruction [old_id] to [fresh]. Only the
+   successors of [old_id] can mention it, so [succ] keeps this linear. *)
+let redirect (dag : Instr_dag.t) succ ~old_id ~fresh =
+  List.iter
+    (fun jid ->
+      let j = dag.Instr_dag.instrs.(jid) in
+      if j.Instr.alive then begin
+        if List.mem old_id j.Instr.deps then
+          j.Instr.deps <-
+            List.sort_uniq Int.compare
+              (List.map (fun d -> if d = old_id then fresh else d) j.Instr.deps);
+        if j.Instr.comm_pred = Some old_id then j.Instr.comm_pred <- Some fresh
+      end)
+    succ.(old_id);
+  succ.(fresh) <- succ.(old_id) @ succ.(fresh);
+  succ.(old_id) <- []
+
+(* Fuse receives of opcode [recv_op] with a dependent send of the same
+   chunks, rewriting the receive to [fused_op]. *)
+let fuse_recv_send (dag : Instr_dag.t) ~recv_op ~fused_op =
+  let fired = ref 0 in
+  let _, rdepth = Instr_dag.depths dag in
+  let succ = Instr_dag.successors dag in
+  Array.iter
+    (fun (r : Instr.t) ->
+      if r.Instr.alive && r.Instr.op = recv_op then begin
+        let dst = match r.Instr.dst with Some d -> d | None -> assert false in
+        let candidates =
+          List.filter_map
+            (fun sid ->
+              let s = dag.Instr_dag.instrs.(sid) in
+              if
+                s.Instr.alive && s.Instr.op = Instr.Send
+                && s.Instr.rank = r.Instr.rank
+                && List.mem r.Instr.id s.Instr.deps
+                && (match s.Instr.src with
+                   | Some src -> Loc.equal src dst
+                   | None -> false)
+                && unify_ch r.Instr.ch s.Instr.ch <> None
+              then Some s
+              else None)
+            succ.(r.Instr.id)
+        in
+        let best =
+          List.fold_left
+            (fun acc (s : Instr.t) ->
+              match acc with
+              | None -> Some s
+              | Some b ->
+                  if rdepth.(s.Instr.id) > rdepth.(b.Instr.id) then Some s
+                  else Some b)
+            None candidates
+        in
+        match best with
+        | None -> ()
+        | Some s ->
+            incr fired;
+            r.Instr.op <- fused_op;
+            r.Instr.send_peer <- s.Instr.send_peer;
+            (match unify_ch r.Instr.ch s.Instr.ch with
+            | Some c -> r.Instr.ch <- c
+            | None -> assert false);
+            let merged =
+              List.filter (fun d -> d <> r.Instr.id) s.Instr.deps
+              @ r.Instr.deps
+            in
+            r.Instr.deps <- List.sort_uniq Int.compare merged;
+            s.Instr.alive <- false;
+            redirect dag succ ~old_id:s.Instr.id ~fresh:r.Instr.id
+      end)
+    dag.Instr_dag.instrs;
+  !fired
+
+let fuse_rcs dag =
+  fuse_recv_send dag ~recv_op:Instr.Recv ~fused_op:Instr.Recv_copy_send
+
+let fuse_rrcs dag =
+  fuse_recv_send dag ~recv_op:Instr.Recv_reduce_copy
+    ~fused_op:Instr.Recv_reduce_copy_send
+
+(* Locations an instruction reads: its src (when the opcode reads locally)
+   plus, for plain reduce, its destination (the accumuland). *)
+let reads_of (j : Instr.t) =
+  (if Instr.reads_local j.Instr.op then Option.to_list j.Instr.src else [])
+  @ if j.Instr.op = Instr.Reduce then Option.to_list j.Instr.dst else []
+
+let writes_of (j : Instr.t) =
+  if Instr.writes_local j.Instr.op then Option.to_list j.Instr.dst else []
+
+let fuse_rrs (dag : Instr_dag.t) =
+  let fired = ref 0 in
+  let succ = Instr_dag.successors dag in
+  Array.iter
+    (fun (f : Instr.t) ->
+      if f.Instr.alive && f.Instr.op = Instr.Recv_reduce_copy_send then begin
+        let dst = match f.Instr.dst with Some d -> d | None -> assert false in
+        let dependents =
+          List.filter_map
+            (fun id ->
+              let j = dag.Instr_dag.instrs.(id) in
+              if j.Instr.alive && List.mem f.Instr.id j.Instr.deps then Some j
+              else None)
+            succ.(f.Instr.id)
+        in
+        let read_here =
+          List.exists
+            (fun j -> List.exists (Loc.overlaps dst) (reads_of j))
+            dependents
+        in
+        (* The store may be dropped only when the result is never read and
+           every covered index is overwritten later anyway. *)
+        let covered = Array.make dst.Loc.count false in
+        List.iter
+          (fun j ->
+            List.iter
+              (fun (w : Loc.t) ->
+                if Loc.overlaps w dst then
+                  List.iter
+                    (fun i ->
+                      if i >= dst.Loc.index && i < dst.Loc.index + dst.Loc.count
+                      then covered.(i - dst.Loc.index) <- true)
+                    (Loc.indices w))
+              (writes_of j))
+          dependents;
+        let fully_overwritten = Array.for_all (fun b -> b) covered in
+        if (not read_here) && fully_overwritten then begin
+          incr fired;
+          f.Instr.op <- Instr.Recv_reduce_send;
+          (* The accumuland is still read through [src]; only the local
+             store disappears. *)
+          f.Instr.src <- Some dst;
+          f.Instr.dst <- None
+        end
+      end)
+    dag.Instr_dag.instrs;
+  !fired
+
+let fuse dag =
+  let rcs = fuse_rcs dag in
+  let rrcs = fuse_rrcs dag in
+  let rrs = fuse_rrs dag in
+  { rcs; rrcs; rrs }

@@ -1,0 +1,139 @@
+exception Replication_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Replication_error s)) fmt
+
+(* Relabel every input chunk id (q, idx) of a chunk value. *)
+let remap_chunk f c =
+  match Chunk.inputs c with
+  | None -> Chunk.uninit
+  | Some ids ->
+      Chunk.reduce_many
+        (List.map (fun (q, idx) -> let q', i' = f q idx in
+                    Chunk.input ~rank:q' ~index:i') ids)
+
+let buffer_size (g : Ir.gpu) = function
+  | Buffer_id.Input -> g.Ir.input_chunks
+  | Buffer_id.Output -> g.Ir.output_chunks
+  | Buffer_id.Scratch -> g.Ir.scratch_chunks
+
+(* Shared step/tb replication machinery. [map_loc] relocates a location for
+   instance [k]. *)
+let replicate_gpus (ir : Ir.t) ~instances ~map_loc =
+  Array.map
+    (fun (g : Ir.gpu) ->
+      let old_tbs = Array.length g.Ir.tbs in
+      let tbs =
+        Array.init (old_tbs * instances) (fun new_id ->
+            let old_id = new_id / instances and k = new_id mod instances in
+            let tb = g.Ir.tbs.(old_id) in
+            {
+              tb with
+              Ir.tb_id = new_id;
+              chan = (tb.Ir.chan * instances) + k;
+              steps =
+                Array.map
+                  (fun (st : Ir.step) ->
+                    {
+                      st with
+                      Ir.src = Option.map (map_loc g k) st.Ir.src;
+                      dst = Option.map (map_loc g k) st.Ir.dst;
+                      depends =
+                        List.map
+                          (fun (dtb, dstep) -> ((dtb * instances) + k, dstep))
+                          st.Ir.depends;
+                    })
+                  tb.Ir.steps;
+            })
+      in
+      {
+        g with
+        Ir.input_chunks = g.Ir.input_chunks * instances;
+        output_chunks = g.Ir.output_chunks * instances;
+        scratch_chunks = g.Ir.scratch_chunks * instances;
+        tbs;
+      })
+    ir.Ir.gpus
+
+let blocked (ir : Ir.t) ~instances =
+  if instances < 1 then error "instances must be >= 1";
+  if instances = 1 then ir
+  else begin
+    let coll = ir.Ir.collective in
+    let in_chunks = Collective.input_chunks coll in
+    let out_size = Collective.output_buffer_size coll in
+    let in_buf = Collective.input_buffer_size coll in
+    (* Instance k's logical inputs are renamed (q, idx + k * in_chunks). *)
+    let remap k = remap_chunk (fun q idx -> (q, idx + (k * in_chunks))) in
+    let expected ~rank ~index =
+      let k = index / out_size and i = index mod out_size in
+      Option.map (remap k) (Collective.postcondition coll ~rank ~index:i)
+    in
+    let initial ~rank ~index =
+      let k = index / in_buf and i = index mod in_buf in
+      remap k (Collective.precondition coll ~rank ~index:i)
+    in
+    let coll' =
+      Collective.make
+        (Collective.Custom
+           {
+             Collective.custom_name =
+               Printf.sprintf "%s-x%d" (Collective.name coll) instances;
+             input_chunks = in_chunks * instances;
+             output_chunks = Collective.output_chunks coll * instances;
+             expected;
+             initial = Some initial;
+           })
+        ~num_ranks:coll.Collective.num_ranks ~inplace:coll.Collective.inplace
+        ()
+    in
+    let map_loc g k (l : Loc.t) =
+      { l with Loc.index = l.Loc.index + (k * buffer_size g l.Loc.buf) }
+    in
+    let ir' =
+      {
+        ir with
+        Ir.name = Printf.sprintf "%s (r=%d)" ir.Ir.name instances;
+        collective = coll';
+        gpus = replicate_gpus ir ~instances ~map_loc;
+      }
+    in
+    Ir.validate ir';
+    ir'
+  end
+
+let interleaved (ir : Ir.t) ~instances =
+  if instances < 1 then error "instances must be >= 1";
+  if instances = 1 then ir
+  else begin
+    let coll = ir.Ir.collective in
+    (match coll.Collective.kind with
+    | Collective.Custom _ ->
+        error "interleaved replication of custom collectives is unsupported"
+    | Collective.Allreduce | Collective.Allgather | Collective.Reduce_scatter
+    | Collective.Alltoall | Collective.Alltonext | Collective.Broadcast _
+    | Collective.Reduce _ | Collective.Gather _ | Collective.Scatter _ ->
+        ());
+    Ir.iter_steps ir (fun _ _ st ->
+        if st.Ir.count > 1 then
+          error
+            "interleaved replication requires count=1 steps (aggregated \
+             transfers would become non-contiguous); use blocked replication");
+    let coll' =
+      Collective.make coll.Collective.kind ~num_ranks:coll.Collective.num_ranks
+        ~chunk_factor:(coll.Collective.chunk_factor * instances)
+        ~inplace:coll.Collective.inplace ()
+    in
+    let map_loc _g k (l : Loc.t) =
+      { l with Loc.index = (l.Loc.index * instances) + k }
+    in
+    let ir' =
+      {
+        ir with
+        Ir.name = Printf.sprintf "%s (ri=%d)" ir.Ir.name instances;
+        collective = coll';
+        gpus = replicate_gpus ir ~instances ~map_loc;
+      }
+    in
+    Ir.validate ir';
+    ir'
+  end

@@ -1,0 +1,33 @@
+(** Whole-program parallelization: the [r] parameter of the paper's
+    evaluation ("r specifies the parallelization factor of the whole
+    program", Fig. 8).
+
+    Replication creates [r] independent instances of a compiled program,
+    each operating on a [1/r] slice of every buffer on its own disjoint set
+    of channels, so the instances' thread blocks run fully in parallel.
+    Chunk parallelization (paper §5.1) exists because one thread block
+    cannot saturate a fast link; replication is how NCCL itself scales a
+    logical ring across 24 channels (§7.1.1).
+
+    Two slice layouts are provided:
+
+    - {!blocked}: instance [k] owns the contiguous region
+      [k * size .. (k+1) * size - 1] of each buffer. Aggregated
+      (multi-count) operations stay aggregated. The resulting collective is
+      a [Custom] wrapper whose pre/postconditions relabel each instance's
+      chunks, so verification still works.
+    - {!interleaved}: chunk [i] of instance [k] is global chunk
+      [i * r + k], matching msccl-tools' interleaved instance policy; the
+      result is the {e same} built-in collective with [chunk_factor * r].
+      Only valid for programs whose operations all have [count = 1]
+      (slices of an aggregated transfer would not be contiguous). *)
+
+exception Replication_error of string
+
+val blocked : Ir.t -> instances:int -> Ir.t
+(** Raises {!Replication_error} when [instances < 1]. [instances = 1]
+    returns the IR unchanged. *)
+
+val interleaved : Ir.t -> instances:int -> Ir.t
+(** Raises {!Replication_error} on multi-count steps or custom
+    collectives. *)

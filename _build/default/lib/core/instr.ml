@@ -1,0 +1,87 @@
+type opcode =
+  | Send
+  | Recv
+  | Copy
+  | Reduce
+  | Recv_reduce_copy
+  | Recv_copy_send
+  | Recv_reduce_send
+  | Recv_reduce_copy_send
+  | Nop
+
+let opcode_name = function
+  | Send -> "s"
+  | Recv -> "r"
+  | Copy -> "cpy"
+  | Reduce -> "re"
+  | Recv_reduce_copy -> "rrc"
+  | Recv_copy_send -> "rcs"
+  | Recv_reduce_send -> "rrs"
+  | Recv_reduce_copy_send -> "rrcs"
+  | Nop -> "nop"
+
+let opcode_of_name = function
+  | "s" -> Some Send
+  | "r" -> Some Recv
+  | "cpy" -> Some Copy
+  | "re" -> Some Reduce
+  | "rrc" -> Some Recv_reduce_copy
+  | "rcs" -> Some Recv_copy_send
+  | "rrs" -> Some Recv_reduce_send
+  | "rrcs" -> Some Recv_reduce_copy_send
+  | "nop" -> Some Nop
+  | _ -> None
+
+let sends = function
+  | Send | Recv_copy_send | Recv_reduce_send | Recv_reduce_copy_send -> true
+  | Recv | Copy | Reduce | Recv_reduce_copy | Nop -> false
+
+let receives = function
+  | Recv | Recv_reduce_copy | Recv_copy_send | Recv_reduce_send
+  | Recv_reduce_copy_send ->
+      true
+  | Send | Copy | Reduce | Nop -> false
+
+let reads_local = function
+  | Send | Copy | Reduce | Recv_reduce_copy | Recv_reduce_send
+  | Recv_reduce_copy_send ->
+      true
+  | Recv | Recv_copy_send | Nop -> false
+
+let writes_local = function
+  | Recv | Copy | Reduce | Recv_reduce_copy | Recv_copy_send
+  | Recv_reduce_copy_send ->
+      true
+  | Send | Recv_reduce_send | Nop -> false
+
+type t = {
+  id : int;
+  rank : int;
+  mutable op : opcode;
+  mutable src : Loc.t option;
+  mutable dst : Loc.t option;
+  mutable send_peer : int option;
+  mutable recv_peer : int option;
+  mutable ch : int option;
+  count : int;
+  mutable deps : int list;
+  mutable comm_pred : int option;
+  mutable alive : bool;
+}
+
+let pp_loc_opt fmt = function
+  | None -> Format.pp_print_string fmt "-"
+  | Some l -> Loc.pp fmt l
+
+let pp fmt t =
+  Format.fprintf fmt "#%d@@%d %s src=%a dst=%a%s%s%s deps=[%s]%s" t.id t.rank
+    (opcode_name t.op) pp_loc_opt t.src pp_loc_opt t.dst
+    (match t.send_peer with
+    | None -> ""
+    | Some p -> Printf.sprintf " ->%d" p)
+    (match t.recv_peer with
+    | None -> ""
+    | Some p -> Printf.sprintf " <-%d" p)
+    (match t.ch with None -> "" | Some c -> Printf.sprintf " ch%d" c)
+    (String.concat "," (List.map string_of_int t.deps))
+    (if t.alive then "" else " (dead)")

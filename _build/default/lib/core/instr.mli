@@ -1,0 +1,54 @@
+(** The MSCCL instruction set (paper §4.2).
+
+    Instructions are either point-to-point communication primitives or
+    local primitives executed by a single GPU. The fused instructions
+    combine a receive with a reduction and/or a forwarding send; they exist
+    because a fused implementation keeps intermediate values in registers
+    instead of round-tripping through global memory. *)
+
+type opcode =
+  | Send  (** send the chunks at [src] to [send_peer] *)
+  | Recv  (** receive chunks from [recv_peer] into [dst] *)
+  | Copy  (** local: [dst := src] *)
+  | Reduce  (** local: [dst := dst ⊕ src] *)
+  | Recv_reduce_copy  (** rrc: [dst := src ⊕ received] *)
+  | Recv_copy_send  (** rcs: [dst := received]; forward to [send_peer] *)
+  | Recv_reduce_send  (** rrs: send [src ⊕ received]; no local store *)
+  | Recv_reduce_copy_send
+      (** rrcs: [dst := src ⊕ received]; forward the result *)
+  | Nop
+
+val opcode_name : opcode -> string
+(** MSCCL-IR XML opcode: ["s"], ["r"], ["cpy"], ["re"], ["rrc"], ["rcs"],
+    ["rrs"], ["rrcs"], ["nop"]. *)
+
+val opcode_of_name : string -> opcode option
+
+val sends : opcode -> bool
+val receives : opcode -> bool
+
+val reads_local : opcode -> bool
+(** Whether the instruction reads its [src] location. *)
+
+val writes_local : opcode -> bool
+(** Whether the instruction writes its [dst] location. *)
+
+type t = {
+  id : int;
+  rank : int;
+  mutable op : opcode;
+  mutable src : Loc.t option;  (** Local location read (if any). *)
+  mutable dst : Loc.t option;  (** Local location written (if any). *)
+  mutable send_peer : int option;
+  mutable recv_peer : int option;
+  mutable ch : int option;  (** Channel; [None] until assignment. *)
+  count : int;
+  mutable deps : int list;
+      (** Processing dependencies: ids of same-rank instructions that must
+          execute first. *)
+  mutable comm_pred : int option;
+      (** For receiving instructions: id of the matching send. *)
+  mutable alive : bool;  (** Cleared when fused into another instruction. *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,302 @@
+type t = {
+  name : string;
+  collective : Collective.t;
+  mutable instrs : Instr.t array;
+  scratch_sizes : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type track_cell = { mutable lw : int option; mutable readers : int list }
+
+type track = {
+  t_in : track_cell array;
+  t_out : track_cell array;  (* == t_in when in-place *)
+  t_scr : track_cell array;
+}
+
+let fresh_track n = Array.init n (fun _ -> { lw = None; readers = [] })
+
+let make_tracks coll scratch_sizes =
+  let in_size = Collective.input_buffer_size coll in
+  let out_size = Collective.output_buffer_size coll in
+  Array.init coll.Collective.num_ranks (fun r ->
+      let t_in = fresh_track in_size in
+      let t_out =
+        if coll.Collective.inplace then t_in else fresh_track out_size
+      in
+      { t_in; t_out; t_scr = fresh_track scratch_sizes.(r) })
+
+let track_cells tracks coll (l : Loc.t) =
+  let tr = tracks.(l.Loc.rank) in
+  let arr =
+    match l.Loc.buf with
+    | Buffer_id.Input -> tr.t_in
+    | Buffer_id.Output -> if coll.Collective.inplace then tr.t_in else tr.t_out
+    | Buffer_id.Scratch -> tr.t_scr
+  in
+  Array.sub arr l.Loc.index l.Loc.count
+
+let of_chunk_dag (dag : Chunk_dag.t) =
+  let coll = dag.Chunk_dag.collective in
+  let tracks = make_tracks coll dag.Chunk_dag.scratch_sizes in
+  let acc = ref [] in
+  let next = ref 0 in
+  let new_instr ~rank ~op ~src ~dst ~send_peer ~recv_peer ~ch ~count
+      ~comm_pred =
+    let id = !next in
+    incr next;
+    let deps = Hashtbl.create 4 in
+    let dep = function
+      | Some d when d <> id -> Hashtbl.replace deps d ()
+      | Some _ | None -> ()
+    in
+    let reads =
+      (if Instr.reads_local op then Option.to_list src else [])
+      @ (if op = Instr.Reduce then Option.to_list dst else [])
+    in
+    let writes = if Instr.writes_local op then Option.to_list dst else [] in
+    List.iter
+      (fun l ->
+        Array.iter (fun c -> dep c.lw) (track_cells tracks coll l))
+      reads;
+    List.iter
+      (fun l ->
+        Array.iter
+          (fun c ->
+            dep c.lw;
+            List.iter (fun r -> dep (Some r)) c.readers)
+          (track_cells tracks coll l))
+      writes;
+    List.iter
+      (fun l ->
+        Array.iter
+          (fun c -> c.readers <- id :: c.readers)
+          (track_cells tracks coll l))
+      reads;
+    List.iter
+      (fun l ->
+        Array.iter
+          (fun c ->
+            c.lw <- Some id;
+            c.readers <- [])
+          (track_cells tracks coll l))
+      writes;
+    let deps =
+      List.sort Int.compare (Hashtbl.fold (fun k () l -> k :: l) deps [])
+    in
+    let i =
+      {
+        Instr.id;
+        rank;
+        op;
+        src;
+        dst;
+        send_peer;
+        recv_peer;
+        ch;
+        count;
+        deps;
+        comm_pred;
+        alive = true;
+      }
+    in
+    acc := i :: !acc;
+    i
+  in
+  Chunk_dag.iter dag (fun n ->
+      let src = n.Chunk_dag.src and dst = n.Chunk_dag.dst in
+      let ch = n.Chunk_dag.ch in
+      let count = src.Loc.count in
+      if Chunk_dag.is_remote n then begin
+        let send =
+          new_instr ~rank:src.Loc.rank ~op:Instr.Send ~src:(Some src)
+            ~dst:None ~send_peer:(Some dst.Loc.rank) ~recv_peer:None ~ch
+            ~count ~comm_pred:None
+        in
+        let recv_op =
+          match n.Chunk_dag.op with
+          | Chunk_dag.Copy_op -> Instr.Recv
+          | Chunk_dag.Reduce_op -> Instr.Recv_reduce_copy
+        in
+        (* An rrc reads its own destination as the accumuland. *)
+        let recv_src =
+          match recv_op with
+          | Instr.Recv_reduce_copy -> Some dst
+          | Instr.Recv | Instr.Send | Instr.Copy | Instr.Reduce
+          | Instr.Recv_copy_send | Instr.Recv_reduce_send
+          | Instr.Recv_reduce_copy_send | Instr.Nop ->
+              None
+        in
+        ignore
+          (new_instr ~rank:dst.Loc.rank ~op:recv_op ~src:recv_src
+             ~dst:(Some dst) ~send_peer:None ~recv_peer:(Some src.Loc.rank)
+             ~ch ~count ~comm_pred:(Some send.Instr.id))
+      end
+      else
+        let op =
+          match n.Chunk_dag.op with
+          | Chunk_dag.Copy_op -> Instr.Copy
+          | Chunk_dag.Reduce_op -> Instr.Reduce
+        in
+        ignore
+          (new_instr ~rank:dst.Loc.rank ~op ~src:(Some src) ~dst:(Some dst)
+             ~send_peer:None ~recv_peer:None ~ch ~count ~comm_pred:None));
+  {
+    name = dag.Chunk_dag.name;
+    collective = coll;
+    instrs = Array.of_list (List.rev !acc);
+    scratch_sizes = dag.Chunk_dag.scratch_sizes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let live t =
+  Array.to_list t.instrs |> List.filter (fun i -> i.Instr.alive)
+
+let num_live t =
+  Array.fold_left (fun n i -> if i.Instr.alive then n + 1 else n) 0 t.instrs
+
+let successors t =
+  let n = Array.length t.instrs in
+  let succ = Array.make n [] in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.alive then begin
+        List.iter (fun d -> succ.(d) <- i.Instr.id :: succ.(d)) i.Instr.deps;
+        match i.Instr.comm_pred with
+        | Some s -> succ.(s) <- i.Instr.id :: succ.(s)
+        | None -> ()
+      end)
+    t.instrs;
+  succ
+
+let preds_of (i : Instr.t) =
+  match i.Instr.comm_pred with
+  | Some s -> s :: i.Instr.deps
+  | None -> i.Instr.deps
+
+(* Kahn topological traversal over live instructions; returns order or
+   raises if a cycle exists. *)
+let topo_order t =
+  let n = Array.length t.instrs in
+  let indeg = Array.make n 0 in
+  let alive id = t.instrs.(id).Instr.alive in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.alive then
+        indeg.(i.Instr.id) <- List.length (preds_of i))
+    t.instrs;
+  let succ = successors t in
+  let queue = Queue.create () in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.alive && indeg.(i.Instr.id) = 0 then
+        Queue.add i.Instr.id queue)
+    t.instrs;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    incr seen;
+    List.iter
+      (fun s ->
+        if alive s then begin
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s queue
+        end)
+      succ.(id)
+  done;
+  if !seen <> num_live t then
+    invalid_arg "Instr_dag: dependency cycle detected";
+  List.rev !order
+
+let depths t =
+  let n = Array.length t.instrs in
+  let depth = Array.make n 0 and rdepth = Array.make n 0 in
+  let order = topo_order t in
+  List.iter
+    (fun id ->
+      let i = t.instrs.(id) in
+      List.iter
+        (fun p -> if depth.(id) < depth.(p) + 1 then depth.(id) <- depth.(p) + 1)
+        (preds_of i))
+    order;
+  List.iter
+    (fun id ->
+      let i = t.instrs.(id) in
+      List.iter
+        (fun p ->
+          if rdepth.(p) < rdepth.(id) + 1 then rdepth.(p) <- rdepth.(id) + 1)
+        (preds_of i))
+    (List.rev order);
+  (depth, rdepth)
+
+let compact t =
+  let remap = Array.make (Array.length t.instrs) (-1) in
+  let live_list = live t in
+  List.iteri (fun fresh i -> remap.(i.Instr.id) <- fresh) live_list;
+  let map_id d =
+    if remap.(d) < 0 then invalid_arg "Instr_dag.compact: dep on dead instr"
+    else remap.(d)
+  in
+  let instrs =
+    List.mapi
+      (fun fresh (i : Instr.t) ->
+        {
+          i with
+          Instr.id = fresh;
+          deps = List.sort Int.compare (List.map map_id i.Instr.deps);
+          comm_pred = Option.map map_id i.Instr.comm_pred;
+        })
+      live_list
+  in
+  { t with instrs = Array.of_list instrs }
+
+let validate t =
+  let n = Array.length t.instrs in
+  Array.iteri
+    (fun idx (i : Instr.t) ->
+      if i.Instr.id <> idx then invalid_arg "Instr_dag: id mismatch";
+      if i.Instr.alive then begin
+        List.iter
+          (fun d ->
+            if d < 0 || d >= n then invalid_arg "Instr_dag: dep out of range";
+            let p = t.instrs.(d) in
+            if not p.Instr.alive then invalid_arg "Instr_dag: dep on dead";
+            if p.Instr.rank <> i.Instr.rank then
+              invalid_arg "Instr_dag: cross-rank processing dep")
+          i.Instr.deps;
+        (match i.Instr.comm_pred with
+        | Some s ->
+            if not (Instr.receives i.Instr.op) then
+              invalid_arg "Instr_dag: comm_pred on non-receiving instr";
+            let p = t.instrs.(s) in
+            if not (Instr.sends p.Instr.op) then
+              invalid_arg "Instr_dag: comm_pred not a send";
+            if p.Instr.send_peer <> Some i.Instr.rank then
+              invalid_arg "Instr_dag: send peer mismatch";
+            if i.Instr.recv_peer <> Some p.Instr.rank then
+              invalid_arg "Instr_dag: recv peer mismatch"
+        | None ->
+            if Instr.receives i.Instr.op then
+              invalid_arg "Instr_dag: receiving instr without comm_pred");
+        if Instr.sends i.Instr.op && i.Instr.send_peer = None then
+          invalid_arg "Instr_dag: sending instr without peer"
+      end)
+    t.instrs;
+  ignore (topo_order t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>instr-dag %s, %d live instr(s)@," t.name
+    (num_live t);
+  Array.iter
+    (fun i ->
+      if i.Instr.alive then Format.fprintf fmt "  %a@," Instr.pp i)
+    t.instrs;
+  Format.fprintf fmt "@]"

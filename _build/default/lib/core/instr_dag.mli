@@ -1,0 +1,43 @@
+(** Lowering the Chunk DAG into the Instruction DAG (paper §4.2).
+
+    Each chunk operation expands into instructions: a remote copy becomes a
+    send and a receive connected by a communication edge; a remote reduce
+    becomes a send and a receive-reduce-copy; local operations become a
+    single local instruction. Processing edges (execution-order
+    dependencies within a rank) are recomputed at instruction granularity
+    with the classic true/anti/output dependency rules, so that scheduling
+    and fusion work on precise per-location dependencies. *)
+
+type t = {
+  name : string;
+  collective : Collective.t;
+  mutable instrs : Instr.t array;  (** Indexed by id; may contain dead
+                                       instructions after fusion. *)
+  scratch_sizes : int array;
+}
+
+val of_chunk_dag : Chunk_dag.t -> t
+
+val live : t -> Instr.t list
+(** Live instructions in id order. *)
+
+val num_live : t -> int
+
+val compact : t -> t
+(** Drops dead instructions and renumbers ids densely (dependencies and
+    communication edges are remapped). Call after fusion. *)
+
+val successors : t -> int list array
+(** Forward adjacency (processing and communication edges), indexed by id;
+    dead instructions have no edges. *)
+
+val depths : t -> int array * int array
+(** [(depth, reverse_depth)]: longest distance from any root and to any
+    leaf, over live instructions. Used for scheduling priorities (§5.2) and
+    for picking which send to fuse (§4.3). *)
+
+val validate : t -> unit
+(** Structural checks: dependency ids valid, same-rank deps, matching
+    communication endpoints, acyclicity. Raises [Invalid_argument]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,195 @@
+type step = {
+  s : int;
+  op : Instr.opcode;
+  src : Loc.t option;
+  dst : Loc.t option;
+  count : int;
+  depends : (int * int) list;
+  has_dep : bool;
+}
+
+type tb = {
+  tb_id : int;
+  send : int;
+  recv : int;
+  chan : int;
+  steps : step array;
+}
+
+type gpu = {
+  gpu_id : int;
+  input_chunks : int;
+  output_chunks : int;
+  scratch_chunks : int;
+  tbs : tb array;
+}
+
+type t = {
+  name : string;
+  collective : Collective.t;
+  proto : Msccl_topology.Protocol.t;
+  gpus : gpu array;
+}
+
+let num_ranks t = Array.length t.gpus
+
+let num_thread_blocks t =
+  Array.fold_left (fun n g -> n + Array.length g.tbs) 0 t.gpus
+
+let num_steps t =
+  Array.fold_left
+    (fun n g ->
+      Array.fold_left (fun n tb -> n + Array.length tb.steps) n g.tbs)
+    0 t.gpus
+
+let max_thread_blocks_per_gpu t =
+  Array.fold_left (fun m g -> max m (Array.length g.tbs)) 0 t.gpus
+
+let num_channels t =
+  1
+  + Array.fold_left
+      (fun m g -> Array.fold_left (fun m tb -> max m tb.chan) m g.tbs)
+      0 t.gpus
+
+let iter_steps t f =
+  Array.iter
+    (fun g -> Array.iter (fun tb -> Array.iter (fun st -> f g tb st) tb.steps) g.tbs)
+    t.gpus
+
+let with_proto t proto = { t with proto }
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let validate t =
+  let ranks = num_ranks t in
+  if ranks <> t.collective.Collective.num_ranks then
+    fail "Ir: %d gpus but collective wants %d" ranks
+      t.collective.Collective.num_ranks;
+  Array.iteri
+    (fun gi g ->
+      if g.gpu_id <> gi then fail "Ir: gpu id mismatch";
+      if g.input_chunks < Collective.input_buffer_size t.collective then
+        fail "Ir: gpu %d input buffer too small" gi;
+      if g.output_chunks < Collective.output_buffer_size t.collective then
+        fail "Ir: gpu %d output buffer too small" gi;
+      (* Each connection has exactly one owning thread block per side. *)
+      let senders = Hashtbl.create 8 and receivers = Hashtbl.create 8 in
+      Array.iteri
+        (fun ti tb ->
+          if tb.tb_id <> ti then fail "Ir: tb id mismatch on gpu %d" gi;
+          if tb.chan < 0 then fail "Ir: negative channel";
+          if tb.send >= ranks || tb.recv >= ranks then
+            fail "Ir: peer out of range on gpu %d" gi;
+          if tb.send = gi || tb.recv = gi then
+            fail "Ir: gpu %d connected to itself" gi;
+          if tb.send >= 0 then begin
+            let key = (tb.send, tb.chan) in
+            if Hashtbl.mem senders key then
+              fail "Ir: two thread blocks send on connection %d->%d ch%d" gi
+                tb.send tb.chan;
+            Hashtbl.add senders key tb.tb_id
+          end;
+          if tb.recv >= 0 then begin
+            let key = (tb.recv, tb.chan) in
+            if Hashtbl.mem receivers key then
+              fail "Ir: two thread blocks receive on connection %d<-%d ch%d"
+                gi tb.recv tb.chan;
+            Hashtbl.add receivers key tb.tb_id
+          end;
+          Array.iteri
+            (fun si st ->
+              if st.s <> si then fail "Ir: step index mismatch";
+              if st.count <= 0 then fail "Ir: nonpositive count";
+              if Instr.sends st.op && tb.send < 0 then
+                fail "Ir: sending step in tb without send peer (gpu %d)" gi;
+              if Instr.receives st.op && tb.recv < 0 then
+                fail "Ir: receiving step in tb without recv peer (gpu %d)" gi;
+              (match st.src with
+              | Some l when l.Loc.rank <> gi ->
+                  fail "Ir: step src on foreign rank"
+              | Some _ | None -> ());
+              (match st.dst with
+              | Some l when l.Loc.rank <> gi ->
+                  fail "Ir: step dst on foreign rank"
+              | Some _ | None -> ());
+              List.iter
+                (fun (dtb, dstep) ->
+                  if dtb < 0 || dtb >= Array.length g.tbs then
+                    fail "Ir: dependency on unknown tb %d (gpu %d)" dtb gi;
+                  if dstep < 0 || dstep >= Array.length g.tbs.(dtb).steps then
+                    fail "Ir: dependency on unknown step";
+                  if dtb = tb.tb_id then
+                    fail "Ir: same-tb dependency should be implicit";
+                  if not g.tbs.(dtb).steps.(dstep).has_dep then
+                    fail "Ir: dependency target not marked has_dep")
+                st.depends)
+            tb.steps)
+        g.tbs)
+    t.gpus;
+  (* Per-connection send and receive counts must match. *)
+  let sends = Hashtbl.create 32 and recvs = Hashtbl.create 32 in
+  iter_steps t (fun g tb st ->
+      if Instr.sends st.op then begin
+        let key = (g.gpu_id, tb.send, tb.chan) in
+        Hashtbl.replace sends key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt sends key))
+      end;
+      if Instr.receives st.op then begin
+        let key = (tb.recv, g.gpu_id, tb.chan) in
+        Hashtbl.replace recvs key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt recvs key))
+      end);
+  Hashtbl.iter
+    (fun (src, dst, ch) n ->
+      let m = Option.value ~default:0 (Hashtbl.find_opt recvs (src, dst, ch)) in
+      if n <> m then
+        fail "Ir: connection %d->%d ch%d sends %d but receives %d" src dst ch
+          n m)
+    sends;
+  Hashtbl.iter
+    (fun (src, dst, ch) _ ->
+      if not (Hashtbl.mem sends (src, dst, ch)) then
+        fail "Ir: connection %d->%d ch%d receives without sends" src dst ch)
+    recvs
+
+let pp_loc_opt fmt = function
+  | None -> Format.pp_print_string fmt "-"
+  | Some l ->
+      Format.fprintf fmt "%s[%d]" (Buffer_id.name l.Loc.buf) l.Loc.index
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s: %a proto=%a@," t.name Collective.pp
+    t.collective Msccl_topology.Protocol.pp t.proto;
+  Array.iter
+    (fun g ->
+      Format.fprintf fmt "gpu %d (i=%d o=%d s=%d):@," g.gpu_id g.input_chunks
+        g.output_chunks g.scratch_chunks;
+      Array.iter
+        (fun tb ->
+          Format.fprintf fmt "  tb %d send=%d recv=%d ch=%d@," tb.tb_id
+            tb.send tb.recv tb.chan;
+          Array.iter
+            (fun st ->
+              let deps_str =
+                match st.depends with
+                | [] -> ""
+                | ds ->
+                    " deps="
+                    ^ String.concat ","
+                        (List.map
+                           (fun (tb, s) -> Printf.sprintf "(%d,%d)" tb s)
+                           ds)
+              in
+              let dep_mark = if st.has_dep then " <dep>" else "" in
+              Format.fprintf fmt "    %2d: %-4s src=%a dst=%a cnt=%d%s%s@,"
+                st.s
+                (Instr.opcode_name st.op)
+                pp_loc_opt st.src pp_loc_opt st.dst st.count deps_str dep_mark)
+            tb.steps)
+        g.tbs)
+    t.gpus;
+  Format.fprintf fmt "@]"
+
+let summary t =
+  Printf.sprintf "%s: %d gpus, %d tbs, %d steps, %d channels" t.name
+    (num_ranks t) (num_thread_blocks t) (num_steps t) (num_channels t)

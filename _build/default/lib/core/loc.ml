@@ -1,0 +1,31 @@
+type t = {
+  rank : int;
+  buf : Buffer_id.t;
+  index : int;
+  count : int;
+}
+
+let make ~rank ~buf ~index ~count =
+  if rank < 0 then invalid_arg "Loc.make: negative rank";
+  if index < 0 then invalid_arg "Loc.make: negative index";
+  if count <= 0 then invalid_arg "Loc.make: nonpositive count";
+  { rank; buf; index; count }
+
+let same_place a b =
+  a.rank = b.rank && Buffer_id.equal a.buf b.buf && a.index = b.index
+
+let equal a b = same_place a b && a.count = b.count
+
+let overlaps a b =
+  a.rank = b.rank && Buffer_id.equal a.buf b.buf
+  && a.index < b.index + b.count
+  && b.index < a.index + a.count
+
+let indices t = List.init t.count (fun i -> t.index + i)
+
+let pp fmt t =
+  if t.count = 1 then
+    Format.fprintf fmt "%d:%s[%d]" t.rank (Buffer_id.name t.buf) t.index
+  else
+    Format.fprintf fmt "%d:%s[%d..%d]" t.rank (Buffer_id.name t.buf) t.index
+      (t.index + t.count - 1)

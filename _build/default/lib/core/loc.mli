@@ -1,0 +1,26 @@
+(** A span of [count] contiguous chunks in one buffer of one rank. *)
+
+type t = {
+  rank : int;
+  buf : Buffer_id.t;
+  index : int;
+  count : int;
+}
+
+val make : rank:int -> buf:Buffer_id.t -> index:int -> count:int -> t
+(** Raises [Invalid_argument] on negative index/rank or nonpositive count. *)
+
+val same_place : t -> t -> bool
+(** Same rank, buffer and index (count may differ). *)
+
+val equal : t -> t -> bool
+
+val overlaps : t -> t -> bool
+(** True when the two spans are on the same rank and buffer and their index
+    ranges intersect. Buffer aliasing (in-place input/output) is resolved by
+    callers before asking. *)
+
+val indices : t -> int list
+(** The chunk indices covered, [index .. index+count-1]. *)
+
+val pp : Format.formatter -> t -> unit

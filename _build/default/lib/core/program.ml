@@ -1,0 +1,249 @@
+exception Trace_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Trace_error s)) fmt
+
+type cell = {
+  mutable chunk : Chunk.t;
+  mutable version : int;
+  mutable last_writer : int option;  (* node id *)
+  mutable readers : int list;  (* node ids reading since last write *)
+}
+
+let fresh_cell () =
+  { chunk = Chunk.uninit; version = 0; last_writer = None; readers = [] }
+
+type rank_state = {
+  input : cell array;
+  output : cell array;  (* == input when in-place *)
+  mutable scratch : cell array;
+  mutable scratch_used : int;
+}
+
+type t = {
+  prog_name : string;
+  coll : Collective.t;
+  ranks : rank_state array;
+  mutable nodes : Chunk_dag.node list;  (* reversed *)
+  mutable next_id : int;
+  mutable frozen : bool;
+}
+
+type xref = {
+  prog : t;
+  loc : Loc.t;
+  versions : int array;  (* snapshot per covered cell *)
+}
+
+let name t = t.prog_name
+let collective t = t.coll
+let num_ranks t = t.coll.Collective.num_ranks
+
+let create ?(name = "program") coll =
+  let in_size = Collective.input_buffer_size coll in
+  let out_size = Collective.output_buffer_size coll in
+  let make_rank rank =
+    let input = Array.init in_size (fun _ -> fresh_cell ()) in
+    Array.iteri
+      (fun index cell ->
+        cell.chunk <- Collective.precondition coll ~rank ~index)
+      input;
+    let output =
+      if coll.Collective.inplace then input
+      else Array.init out_size (fun _ -> fresh_cell ())
+    in
+    { input; output; scratch = [||]; scratch_used = 0 }
+  in
+  {
+    prog_name = name;
+    coll;
+    ranks = Array.init coll.Collective.num_ranks make_rank;
+    nodes = [];
+    next_id = 0;
+    frozen = false;
+  }
+
+let check_live t = if t.frozen then error "program already finished"
+
+(* Resolve a buffer name to its canonical identity (Output aliases Input
+   when the collective is in-place). *)
+let canon t buf =
+  match buf with
+  | Buffer_id.Output when t.coll.Collective.inplace -> Buffer_id.Input
+  | Buffer_id.Input | Buffer_id.Output | Buffer_id.Scratch -> buf
+
+let rank_state t rank =
+  if rank < 0 || rank >= num_ranks t then error "rank %d out of range" rank;
+  t.ranks.(rank)
+
+(* Grow the scratch buffer so that [n] cells exist. *)
+let ensure_scratch rs n =
+  if n > Array.length rs.scratch then begin
+    let cap = max 8 (max n (2 * Array.length rs.scratch)) in
+    let bigger = Array.init cap (fun i ->
+        if i < Array.length rs.scratch then rs.scratch.(i) else fresh_cell ())
+    in
+    rs.scratch <- bigger
+  end;
+  if n > rs.scratch_used then rs.scratch_used <- n
+
+(* Cells covered by a location, for reading ([grow=false]) or writing. *)
+let cells t (l : Loc.t) ~grow =
+  let rs = rank_state t l.Loc.rank in
+  let last = l.Loc.index + l.Loc.count in
+  let fixed arr what =
+    if last > Array.length arr then
+      error "%a exceeds %s buffer of %d chunk(s)" Loc.pp l what
+        (Array.length arr)
+    else Array.sub arr l.Loc.index l.Loc.count
+  in
+  match canon t l.Loc.buf with
+  | Buffer_id.Input -> fixed rs.input "input"
+  | Buffer_id.Output -> fixed rs.output "output"
+  | Buffer_id.Scratch ->
+      if grow then ensure_scratch rs last
+      else if last > rs.scratch_used then
+        error "%a reads past the scratch buffer (%d chunk(s) used)" Loc.pp l
+          rs.scratch_used;
+      Array.sub rs.scratch l.Loc.index l.Loc.count
+
+let make_loc t ~rank ~buf ~index ~count =
+  if count <= 0 then error "nonpositive count %d" count;
+  if index < 0 then error "negative index %d" index;
+  if rank < 0 || rank >= num_ranks t then error "rank %d out of range" rank;
+  Loc.make ~rank ~buf ~index ~count
+
+let snapshot cells = Array.map (fun c -> c.version) cells
+
+let check_fresh r ~what =
+  let cs = cells r.prog r.loc ~grow:false in
+  Array.iteri
+    (fun i c ->
+      if c.version <> r.versions.(i) then
+        error "stale reference used as %s: %a was overwritten after the \
+               reference was created"
+          what Loc.pp r.loc)
+    cs;
+  cs
+
+let check_initialized r cs =
+  Array.iteri
+    (fun i c ->
+      if Chunk.is_uninit c.chunk then
+        error "reading uninitialized chunk at %s[%d] of rank %d"
+          (Buffer_id.long_name r.loc.Loc.buf)
+          (r.loc.Loc.index + i) r.loc.Loc.rank)
+    cs
+
+let chunk t ~rank buf ~index ?(count = 1) () =
+  check_live t;
+  let loc = make_loc t ~rank ~buf ~index ~count in
+  let cs = cells t loc ~grow:false in
+  let r = { prog = t; loc; versions = snapshot cs } in
+  check_initialized r cs;
+  r
+
+let sub r ~offset ~count =
+  if offset < 0 || count <= 0 || offset + count > r.loc.Loc.count then
+    error "sub: span [%d,%d) outside reference of count %d" offset
+      (offset + count) r.loc.Loc.count;
+  {
+    prog = r.prog;
+    loc =
+      Loc.make ~rank:r.loc.Loc.rank ~buf:r.loc.Loc.buf
+        ~index:(r.loc.Loc.index + offset) ~count;
+    versions = Array.sub r.versions offset count;
+  }
+
+let rank_of r = r.loc.Loc.rank
+let buffer_of r = r.loc.Loc.buf
+let index_of r = r.loc.Loc.index
+let count_of r = r.loc.Loc.count
+
+let locs_alias t a b =
+  a.Loc.rank = b.Loc.rank
+  && Buffer_id.equal (canon t a.Loc.buf) (canon t b.Loc.buf)
+  && a.Loc.index < b.Loc.index + b.Loc.count
+  && b.Loc.index < a.Loc.index + a.Loc.count
+
+(* Append a node computing [dst := f(read cells)]; dependency edges are the
+   classic last-writer (true), write-after-read (anti) and write-after-write
+   (output) dependencies on the covered cells. *)
+let add_node t ~op ~src_cells ~dst_cells ~src ~dst ~ch ~apply =
+  let id = t.next_id in
+  let deps = Hashtbl.create 8 in
+  let dep = function
+    | Some w when w <> id -> Hashtbl.replace deps w ()
+    | Some _ | None -> ()
+  in
+  Array.iter (fun c -> dep c.last_writer) src_cells;
+  Array.iter
+    (fun c ->
+      dep c.last_writer;
+      List.iter (fun rid -> dep (Some rid)) c.readers)
+    dst_cells;
+  Array.iter (fun c -> c.readers <- id :: c.readers) src_cells;
+  Array.iteri
+    (fun i c ->
+      c.chunk <- apply i c.chunk;
+      c.version <- c.version + 1;
+      c.last_writer <- Some id;
+      c.readers <- [])
+    dst_cells;
+  let deps = List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) deps []) in
+  t.next_id <- id + 1;
+  t.nodes <- { Chunk_dag.id; op; src; dst; ch; deps } :: t.nodes;
+  ()
+
+let copy r ~rank buf ~index ?ch () =
+  let t = r.prog in
+  check_live t;
+  let src_cells = check_fresh r ~what:"copy source" in
+  check_initialized r src_cells;
+  let dst = make_loc t ~rank ~buf ~index ~count:r.loc.Loc.count in
+  if locs_alias t r.loc dst then
+    error "copy source %a overlaps destination %a" Loc.pp r.loc Loc.pp dst;
+  let dst_cells = cells t dst ~grow:true in
+  let values = Array.map (fun c -> c.chunk) src_cells in
+  add_node t ~op:Chunk_dag.Copy_op ~src_cells ~dst_cells ~src:r.loc ~dst ~ch
+    ~apply:(fun i _old -> values.(i));
+  let dst_cells = cells t dst ~grow:false in
+  { prog = t; loc = dst; versions = snapshot dst_cells }
+
+let reduce r1 r2 ?ch () =
+  let t = r1.prog in
+  check_live t;
+  if r2.prog != t then error "reduce: references from different programs";
+  if r1.loc.Loc.count <> r2.loc.Loc.count then
+    error "reduce: count mismatch (%d vs %d)" r1.loc.Loc.count
+      r2.loc.Loc.count;
+  if locs_alias t r1.loc r2.loc then
+    error "reduce operands %a and %a overlap" Loc.pp r1.loc Loc.pp r2.loc;
+  let dst_cells = check_fresh r1 ~what:"reduce destination" in
+  check_initialized r1 dst_cells;
+  let src_cells = check_fresh r2 ~what:"reduce source" in
+  check_initialized r2 src_cells;
+  let values = Array.map (fun c -> c.chunk) src_cells in
+  add_node t ~op:Chunk_dag.Reduce_op ~src_cells ~dst_cells ~src:r2.loc
+    ~dst:r1.loc ~ch
+    ~apply:(fun i old -> Chunk.reduce old values.(i));
+  let dst_cells = cells t r1.loc ~grow:false in
+  { prog = t; loc = r1.loc; versions = snapshot dst_cells }
+
+let finish t =
+  check_live t;
+  t.frozen <- true;
+  let dag =
+    {
+      Chunk_dag.name = t.prog_name;
+      collective = t.coll;
+      nodes = Array.of_list (List.rev t.nodes);
+      scratch_sizes = Array.map (fun rs -> rs.scratch_used) t.ranks;
+    }
+  in
+  Chunk_dag.validate dag;
+  dag
+
+let trace ?name coll f =
+  let t = create ?name coll in
+  f t;
+  finish t

@@ -1,0 +1,73 @@
+(** The MSCCLang chunk-oriented DSL (paper §3, Table 1).
+
+    A program declaratively routes chunks across GPUs by chaining [chunk],
+    [copy] and [reduce] operations. Tracing happens eagerly: each call
+    updates a model of every rank's buffers and appends a node to the Chunk
+    DAG. The DSL enforces the paper's safety rules at trace time:
+
+    - programs manipulate {e references}, and only the latest reference to
+      any location may be used — stale references raise {!Trace_error},
+      which makes programs data-race free by construction (§3.3);
+    - reading an uninitialized chunk raises {!Trace_error};
+    - the scratch buffer's size is deduced from the highest index written.
+
+    Aggregation (§5.1) is expressed by multi-count references: a [copy] or
+    [reduce] of a reference with [count = n] moves [n] contiguous chunks in
+    a single instruction. Channel directives are the [?ch] arguments.
+
+    Operations between buffers are expressed uniformly whether the ranks
+    are the same GPU or not; the compiler ({!Instr_dag}) picks local or
+    point-to-point instructions. *)
+
+type t
+(** A program under construction. *)
+
+type xref
+(** A reference to [count] contiguous chunks currently in some buffer. *)
+
+exception Trace_error of string
+(** Raised on any violation of the DSL rules, with a located message. *)
+
+val create : ?name:string -> Collective.t -> t
+(** Starts tracing a program implementing the given collective. Buffers are
+    initialized from the collective's precondition; when the collective is
+    in-place, [Input] and [Output] alias. *)
+
+val name : t -> string
+
+val collective : t -> Collective.t
+
+val num_ranks : t -> int
+
+val chunk : t -> rank:int -> Buffer_id.t -> index:int -> ?count:int -> unit -> xref
+(** [chunk t ~rank buf ~index ~count ()] returns a reference to the chunks
+    currently at that location ([count] defaults to 1). Raises
+    {!Trace_error} if any covered chunk is uninitialized or out of range. *)
+
+val copy : xref -> rank:int -> Buffer_id.t -> index:int -> ?ch:int -> unit -> xref
+(** [copy c ~rank buf ~index ()] copies the chunks referenced by [c] to the
+    destination and returns a reference to the copied chunks. A remote copy
+    lowers to a send/receive pair; a local one to a copy instruction. *)
+
+val reduce : xref -> xref -> ?ch:int -> unit -> xref
+(** [reduce c1 c2 ()] point-wise reduces [c2] into [c1]'s location (the
+    paper's [c1.reduce(c2)]) and returns a reference to the result. The two
+    references must have equal counts. A remote reduce (ranks differ)
+    lowers to a send and a receive-reduce-copy. *)
+
+val rank_of : xref -> int
+val buffer_of : xref -> Buffer_id.t
+val index_of : xref -> int
+val count_of : xref -> int
+
+val sub : xref -> offset:int -> count:int -> xref
+(** A reference to a sub-span of an existing reference (still subject to
+    staleness checks). Used to parallelize transfers by splitting them. *)
+
+val finish : t -> Chunk_dag.t
+(** Freezes the program and returns its Chunk DAG. Subsequent operations on
+    the program or its references raise {!Trace_error}. *)
+
+val trace :
+  ?name:string -> Collective.t -> (t -> unit) -> Chunk_dag.t
+(** [trace coll f] = create, run [f], finish. *)

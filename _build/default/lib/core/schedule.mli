@@ -1,0 +1,49 @@
+(** Scheduling the Instruction DAG into MSCCL-IR (paper §5).
+
+    Scheduling assigns every instruction to a thread block and every
+    communication edge to a channel, honoring:
+
+    - a thread block has at most one send and one receive connection;
+    - a connection (src, dst, channel) is owned by exactly one sending and
+      one receiving thread block;
+    - channels requested by DSL directives are respected, and a chain of
+      fused instructions shares one channel (a fused instruction carries a
+      single channel for both its connections);
+    - instructions are laid out in a single global topological order using
+      the (depth, reverse-depth) priority heuristic of §5.2, so the
+      sequential execution order inside each thread block cannot introduce
+      deadlocks;
+    - processing edges that cross thread blocks become explicit
+      [(tb, step)] dependencies enforced by semaphores at run time;
+    - per-connection send order matches receive order (the runtime's FIFO
+      slots deliver in order);
+    - no schedule ever has more than [slots] outstanding sends on a
+      connection (paper §6.1: the compiler prevents such schedules because
+      the runtime's bounded FIFO would deadlock). The k-th send on a
+      connection is placed only after the (k - slots)-th receive, so every
+      runtime waiting edge — program order, semaphores, data delivery and
+      FIFO back-pressure — points forward in the assignment order, making
+      the result deadlock-free by construction.
+
+    Raises {!Scheduling_error} when user channel directives conflict (for
+    example two different channels forced onto one fused chain, or more
+    than one send connection forced into a thread block). *)
+
+exception Scheduling_error of string
+
+val run :
+  ?proto:Msccl_topology.Protocol.t ->
+  ?name:string ->
+  ?slots:int ->
+  Instr_dag.t ->
+  Ir.t
+(** Schedules a (typically fused and compacted) Instruction DAG. [proto]
+    defaults to [Simple]; [name] defaults to the DAG's name; [slots]
+    defaults to the protocol's FIFO slot count (switching a scheduled IR to
+    a protocol with fewer slots requires re-checking deadlock freedom with
+    {!Verify.check_deadlock_free}). The result passes {!Ir.validate}. *)
+
+val assign_channels : Instr_dag.t -> unit
+(** First phase only, exposed for tests: unifies channels along
+    communication edges and fused chains, checks directive consistency, and
+    fills every remaining [ch] with the lowest valid channel. *)

@@ -1,0 +1,350 @@
+module T = Msccl_topology
+
+exception Sim_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+type result = {
+  time : float;
+  kernel_time : float;
+  tiles : int;
+  messages : int;
+  wire_bytes : float;
+  events : int;
+}
+
+type tb_state = {
+  ts_rank : int;
+  ts_tb : Ir.tb;
+  ts_nsteps : int;
+  mutable ts_tile : int;
+  mutable ts_pc : int;
+  mutable ts_completed : int;  (* total steps completed over all tiles *)
+  mutable ts_waiters : (int * (unit -> unit)) list;  (* (threshold, k) *)
+  mutable ts_finished : bool;
+  mutable ts_span_start : float;  (* for timeline capture *)
+}
+
+type conn = {
+  c_route : T.Topology.route;
+  mutable c_in_flight : int;
+  mutable c_arrived : int;
+  mutable c_waiting_recv : (unit -> unit) option;
+  mutable c_waiting_send : (unit -> unit) option;
+  (* InfiniBand sends are staged: the proxy thread serializes the wire
+     transfers of one connection (one queue pair), so a later message waits
+     for the one in flight even though the thread block already moved on. *)
+  mutable c_proxy_busy : bool;
+  c_proxy_queue : (float * (unit -> unit)) Queue.t;  (* wire bytes, arrival *)
+}
+
+let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
+    ?timeline (ir : Ir.t) =
+  if chunk_bytes <= 0. then error "chunk_bytes must be positive";
+  if Ir.num_ranks ir <> T.Topology.num_ranks topo then
+    error "IR has %d ranks but topology %s has %d" (Ir.num_ranks ir)
+      (T.Topology.name topo)
+      (T.Topology.num_ranks topo);
+  if check_occupancy && Ir.max_thread_blocks_per_gpu ir > T.Topology.sm_count topo
+  then
+    error
+      "program needs %d thread blocks per GPU but %s has %d SMs \
+       (cooperative launch requires all thread blocks resident)"
+      (Ir.max_thread_blocks_per_gpu ir)
+      (T.Topology.name topo) (T.Topology.sm_count topo);
+  let proto = ir.Ir.proto in
+  let slots = T.Protocol.num_slots proto in
+  let slot_bytes = float_of_int (T.Protocol.slot_bytes proto) in
+  let eff = T.Protocol.efficiency proto in
+  let alpha_scale = T.Protocol.alpha_scale proto in
+  let ntiles =
+    max 1 (min max_tiles (int_of_float (ceil (chunk_bytes /. slot_bytes))))
+  in
+  let tile_bytes = chunk_bytes /. float_of_int ntiles in
+  let capacities =
+    Array.map
+      (fun (r : T.Topology.resource) -> r.T.Topology.capacity)
+      (T.Topology.resources topo)
+  in
+  let eng = Msccl_sim.Engine.create ~capacities in
+  let local_bw = T.Topology.local_bandwidth topo in
+  let gamma = T.Topology.reduce_gamma topo in
+  let instr_overhead = T.Topology.instr_overhead topo in
+  (* Connections, keyed by (src, dst, ch). *)
+  let conns : (int * int * int, conn) Hashtbl.t = Hashtbl.create 64 in
+  let conn_of ~src ~dst ~ch =
+    let key = (src, dst, ch) in
+    match Hashtbl.find_opt conns key with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            c_route = T.Topology.route topo ~src ~dst;
+            c_in_flight = 0;
+            c_arrived = 0;
+            c_waiting_recv = None;
+            c_waiting_send = None;
+            c_proxy_busy = false;
+            c_proxy_queue = Queue.create ();
+          }
+        in
+        Hashtbl.add conns key c;
+        c
+  in
+  let states =
+    Array.map
+      (fun (g : Ir.gpu) ->
+        Array.map
+          (fun (tb : Ir.tb) ->
+            {
+              ts_rank = g.Ir.gpu_id;
+              ts_tb = tb;
+              ts_nsteps = Array.length tb.Ir.steps;
+              ts_tile = 0;
+              ts_pc = 0;
+              ts_completed = 0;
+              ts_waiters = [];
+              ts_finished = false;
+              ts_span_start = 0.;
+            })
+          g.Ir.tbs)
+      ir.Ir.gpus
+  in
+  let total_tbs = Ir.num_thread_blocks ir in
+  let finished = ref 0 in
+  let finish_time = ref 0. in
+  let messages = ref 0 in
+  let wire_bytes = ref 0. in
+  let busy t k = Msccl_sim.Engine.after eng t k in
+  (* Wake whoever waits on [st]'s semaphore reaching its new value. *)
+  let wake_sem st =
+    let ready, still =
+      List.partition (fun (th, _) -> st.ts_completed >= th) st.ts_waiters
+    in
+    st.ts_waiters <- still;
+    List.iter (fun (_, k) -> k ()) ready
+  in
+  let free_slot c =
+    c.c_in_flight <- c.c_in_flight - 1;
+    match c.c_waiting_send with
+    | Some k ->
+        c.c_waiting_send <- None;
+        k ()
+    | None -> ()
+  in
+  let arrival c =
+    c.c_arrived <- c.c_arrived + 1;
+    match c.c_waiting_recv with
+    | Some k ->
+        c.c_waiting_recv <- None;
+        k ()
+    | None -> ()
+  in
+  let record_instr st =
+    match timeline with
+    | None -> ()
+    | Some tl ->
+        let now = Msccl_sim.Engine.now eng in
+        Timeline.add tl
+          ~name:(Instr.opcode_name st.ts_tb.Ir.steps.(st.ts_pc).Ir.op)
+          ~cat:"instr" ~pid:st.ts_rank ~tid:st.ts_tb.Ir.tb_id
+          ~ts:st.ts_span_start ~dur:(now -. st.ts_span_start)
+  in
+  let net_pid = Ir.num_ranks ir in
+  let record_transfer ~src ~dst ~start =
+    match timeline with
+    | None -> ()
+    | Some tl ->
+        let now = Msccl_sim.Engine.now eng in
+        Timeline.add tl
+          ~name:(Printf.sprintf "%d->%d" src dst)
+          ~cat:"transfer" ~pid:net_pid
+          ~tid:((src * 1024) + dst)
+          ~ts:start ~dur:(now -. start)
+  in
+  (* Serialized IB transfers per connection (one RDMA queue pair). *)
+  let rec proxy_send c wire on_arrival =
+    if c.c_proxy_busy then Queue.add (wire, on_arrival) c.c_proxy_queue
+    else begin
+      c.c_proxy_busy <- true;
+      Msccl_sim.Engine.start_flow eng ~bytes:wire
+        ~hops:c.c_route.T.Topology.hops ~cap:c.c_route.T.Topology.tb_cap
+        (fun () ->
+          c.c_proxy_busy <- false;
+          (if not (Queue.is_empty c.c_proxy_queue) then
+             let wire', k' = Queue.pop c.c_proxy_queue in
+             proxy_send c wire' k');
+          on_arrival ())
+    end
+  in
+  let rec advance st () =
+    if st.ts_pc >= st.ts_nsteps then begin
+      st.ts_tile <- st.ts_tile + 1;
+      st.ts_pc <- 0;
+      if st.ts_tile >= ntiles || st.ts_nsteps = 0 then begin
+        st.ts_finished <- true;
+        incr finished;
+        if Msccl_sim.Engine.now eng > !finish_time then
+          finish_time := Msccl_sim.Engine.now eng
+      end
+      else advance st ()
+    end
+    else begin
+      let step = st.ts_tb.Ir.steps.(st.ts_pc) in
+      check_deps st step
+    end
+  and check_deps st step =
+    (* A dependency (tb, s) is satisfied for the current tile when that tb
+       completed step s in the same tile (semaphores are monotonic in
+       tile * nsteps + step). *)
+    let blocking =
+      List.find_opt
+        (fun (dtb, dstep) ->
+          let target = states.(st.ts_rank).(dtb) in
+          let threshold = (st.ts_tile * target.ts_nsteps) + dstep + 1 in
+          target.ts_completed < threshold)
+        step.Ir.depends
+    in
+    match blocking with
+    | Some (dtb, dstep) ->
+        let target = states.(st.ts_rank).(dtb) in
+        let threshold = (st.ts_tile * target.ts_nsteps) + dstep + 1 in
+        target.ts_waiters <-
+          (threshold, fun () -> check_deps st step) :: target.ts_waiters
+    | None ->
+        st.ts_span_start <- Msccl_sim.Engine.now eng;
+        busy instr_overhead (fun () -> recv_phase st step)
+  and recv_phase st step =
+    if Instr.receives step.Ir.op then begin
+      let c =
+        conn_of ~src:st.ts_tb.Ir.recv ~dst:st.ts_rank ~ch:st.ts_tb.Ir.chan
+      in
+      if c.c_arrived > 0 then begin
+        c.c_arrived <- c.c_arrived - 1;
+        let bytes = float_of_int step.Ir.count *. tile_bytes in
+        let reduce_cost =
+          match step.Ir.op with
+          | Instr.Recv_reduce_copy | Instr.Recv_reduce_send
+          | Instr.Recv_reduce_copy_send ->
+              gamma *. bytes
+          | Instr.Recv | Instr.Recv_copy_send | Instr.Send | Instr.Copy
+          | Instr.Reduce | Instr.Nop ->
+              0.
+        in
+        (* Copy out of the FIFO slot (unless the protocol delivers straight
+           into the destination buffer), then free it. *)
+        let copy_cost =
+          if T.Protocol.receiver_copies proto then bytes /. local_bw else 0.
+        in
+        busy
+          (copy_cost +. reduce_cost)
+          (fun () ->
+            free_slot c;
+            send_phase st step)
+      end
+      else c.c_waiting_recv <- Some (fun () -> recv_phase st step)
+    end
+    else send_phase st step
+  and send_phase st step =
+    if Instr.sends step.Ir.op then begin
+      let c =
+        conn_of ~src:st.ts_rank ~dst:st.ts_tb.Ir.send ~ch:st.ts_tb.Ir.chan
+      in
+      if c.c_in_flight < slots then begin
+        c.c_in_flight <- c.c_in_flight + 1;
+        let bytes = float_of_int step.Ir.count *. tile_bytes in
+        let wire = bytes /. eff in
+        let alpha = c.c_route.T.Topology.base_alpha *. alpha_scale in
+        incr messages;
+        wire_bytes := !wire_bytes +. wire;
+        busy alpha (fun () ->
+            match c.c_route.T.Topology.kind with
+            | T.Link.Infiniband ->
+                (* Staged: the thread block copies into the proxy buffer and
+                   moves on; the NIC transfer proceeds asynchronously, one
+                   message at a time per connection. *)
+                let src = st.ts_rank and dst = st.ts_tb.Ir.send in
+                let start = Msccl_sim.Engine.now eng in
+                proxy_send c wire (fun () ->
+                    record_transfer ~src ~dst ~start;
+                    arrival c);
+                busy (bytes /. local_bw) (fun () -> complete_step st)
+            | T.Link.Nvlink | T.Link.Nvswitch | T.Link.Pcie | T.Link.Host ->
+                (* The thread block drives the copy over the link. *)
+                let src = st.ts_rank and dst = st.ts_tb.Ir.send in
+                let start = Msccl_sim.Engine.now eng in
+                Msccl_sim.Engine.start_flow eng ~bytes:wire
+                  ~hops:c.c_route.T.Topology.hops
+                  ~cap:c.c_route.T.Topology.tb_cap
+                  (fun () ->
+                    record_transfer ~src ~dst ~start;
+                    arrival c;
+                    complete_step st))
+      end
+      else c.c_waiting_send <- Some (fun () -> send_phase st step)
+    end
+    else local_phase st step
+  and local_phase st step =
+    let bytes = float_of_int step.Ir.count *. tile_bytes in
+    match step.Ir.op with
+    | Instr.Copy -> busy (bytes /. local_bw) (fun () -> complete_step st)
+    | Instr.Reduce ->
+        busy
+          ((bytes /. local_bw) +. (gamma *. bytes))
+          (fun () -> complete_step st)
+    | Instr.Recv | Instr.Recv_reduce_copy | Instr.Nop ->
+        complete_step st
+    | Instr.Send | Instr.Recv_copy_send | Instr.Recv_reduce_send
+    | Instr.Recv_reduce_copy_send ->
+        (* Sends complete in [send_phase]. *)
+        assert false
+  and complete_step st =
+    record_instr st;
+    st.ts_pc <- st.ts_pc + 1;
+    st.ts_completed <- st.ts_completed + 1;
+    wake_sem st;
+    advance st ()
+  in
+  let launch =
+    T.Topology.launch_overhead topo
+    +. (T.Topology.per_tb_launch topo *. float_of_int total_tbs)
+  in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun st -> Msccl_sim.Engine.at eng launch (fun () -> advance st ()))
+        row)
+    states;
+  Msccl_sim.Engine.run eng;
+  if !finished <> total_tbs then begin
+    let stuck = Buffer.create 128 in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun st ->
+            if not st.ts_finished then
+              Buffer.add_string stuck
+                (Printf.sprintf "\n  gpu %d tb %d: tile %d step %d" st.ts_rank
+                   st.ts_tb.Ir.tb_id st.ts_tile st.ts_pc))
+          row)
+      states;
+    error "simulation deadlock (%d of %d thread blocks finished)%s" !finished
+      total_tbs (Buffer.contents stuck)
+  end;
+  {
+    time = !finish_time;
+    kernel_time = !finish_time -. launch;
+    tiles = ntiles;
+    messages = !messages;
+    wire_bytes = !wire_bytes;
+    events = Msccl_sim.Engine.events_processed eng;
+  }
+
+let run_buffer ~topo ~buffer_bytes ?max_tiles ?check_occupancy ?timeline
+    (ir : Ir.t) =
+  let chunks = Collective.input_buffer_size ir.Ir.collective in
+  run ~topo
+    ~chunk_bytes:(buffer_bytes /. float_of_int chunks)
+    ?max_tiles ?check_occupancy ?timeline ir
+
+let algbw ~buffer_bytes result = buffer_bytes /. result.time

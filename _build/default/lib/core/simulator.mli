@@ -1,0 +1,67 @@
+(** Timing simulation of MSCCL-IR on a cluster topology.
+
+    Models the MSCCLang runtime interpreter of paper §6/Fig. 5 on top of
+    the fluid-flow discrete-event engine:
+
+    - every thread block runs its instruction list sequentially, once per
+      {e tile} (the pipelining loop: chunks larger than a protocol FIFO slot
+      are split into tiles, and thread blocks stream tiles through the
+      whole program — Fig. 6);
+    - a send waits for a free FIFO slot (at most [slots] outstanding sends
+      per connection), pays the protocol-scaled per-message α, then drives
+      the transfer across the route's shared resources, capped by the
+      per-thread-block bandwidth limit; InfiniBand sends are staged (the
+      thread block copies into the proxy buffer and continues while the
+      NIC transfers — GPUDirect RDMA with a CPU helper thread, §6.1);
+    - a receive waits for arrival, then copies out of the slot (freeing
+      it), plus the γ reduction cost for the rrc/rrs/rrcs family;
+    - cross thread-block dependencies wait on semaphores;
+    - the cooperative kernel launch costs a fixed overhead plus a per-
+      thread-block term, and requires at most [Topology.sm_count] thread
+      blocks per GPU.
+
+    The simulated clock advances only through these costs, so two IRs
+    compared on the same topology give meaningful speedup ratios. *)
+
+exception Sim_error of string
+
+type result = {
+  time : float;  (** End-to-end completion time in seconds (incl. launch). *)
+  kernel_time : float;  (** Time after the launch overhead. *)
+  tiles : int;  (** Pipelining factor used. *)
+  messages : int;  (** Point-to-point messages transferred. *)
+  wire_bytes : float;  (** Total bytes on the wire (incl. protocol overhead). *)
+  events : int;  (** Engine events processed (determinism metric). *)
+}
+
+val run :
+  topo:Msccl_topology.Topology.t ->
+  chunk_bytes:float ->
+  ?max_tiles:int ->
+  ?check_occupancy:bool ->
+  ?timeline:Timeline.t ->
+  Ir.t ->
+  result
+(** Simulates one kernel. [chunk_bytes] is the payload size of one chunk;
+    the collective's buffer size is [chunk_bytes * chunks]. [max_tiles]
+    (default 4) caps the pipelining factor to bound simulation cost for
+    huge buffers. [check_occupancy] (default true) fails when a GPU needs
+    more thread blocks than it has SMs. [timeline] records instruction and
+    transfer spans for Chrome-tracing export. Raises {!Sim_error} on
+    topology / IR rank mismatch, occupancy violation, or (for hand-written
+    IR) deadlock. *)
+
+val run_buffer :
+  topo:Msccl_topology.Topology.t ->
+  buffer_bytes:float ->
+  ?max_tiles:int ->
+  ?check_occupancy:bool ->
+  ?timeline:Timeline.t ->
+  Ir.t ->
+  result
+(** Like {!run} but takes the total size of the collective input buffer and
+    divides it by the IR's input chunk count. *)
+
+val algbw : buffer_bytes:float -> result -> float
+(** Algorithm bandwidth in bytes/second: buffer size divided by time (the
+    usual nccl-tests metric). *)

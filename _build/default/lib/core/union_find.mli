@@ -1,0 +1,13 @@
+(** Classic union-find over dense integer ids, with path compression and
+    union by rank. Used for channel classes and thread-block grouping. *)
+
+type t
+
+val create : int -> t
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool

@@ -1,0 +1,39 @@
+(** Automatic correctness checking of MSCCL-IR (paper §3.2, §5.2).
+
+    Three independent checks:
+
+    - {!check_postcondition} executes the IR symbolically over the chunk
+      algebra and compares every rank's final output buffer against the
+      collective's postcondition — this is how MSCCLang "automatically
+      check[s] whether an implementation properly implements a collective
+      before running on hardware" (§1).
+    - {!check_deadlock_free} builds the complete static dependency graph —
+      thread-block program order, cross-thread-block semaphore edges,
+      send/receive communication edges, and FIFO back-pressure edges (the
+      k-th send on a connection with [s] slots cannot start before the
+      (k-s)-th receive completed) — and verifies it is acyclic.
+    - {!check} runs both plus {!Ir.validate}. *)
+
+type mismatch = {
+  m_rank : int;
+  m_index : int;
+  m_expected : Chunk.t;
+  m_actual : Chunk.t option;  (** [None] = still uninitialized. *)
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val check_postcondition : Ir.t -> (unit, mismatch list) result
+(** Raises {!Executor.Exec_error} if symbolic execution itself gets stuck
+    (deadlock, uninitialized read); returns the list of wrong output
+    positions otherwise. *)
+
+val check_deadlock_free : ?slots:int -> Ir.t -> (unit, string) result
+(** [slots] defaults to the IR protocol's slot count. The error string
+    names an instruction on the cycle. *)
+
+val check : Ir.t -> (unit, string) result
+(** Full verification; the error string describes the first failure. *)
+
+val check_exn : Ir.t -> unit
+(** Like {!check} but raises [Failure]. *)

@@ -1,0 +1,429 @@
+type tree = {
+  tag : string;
+  attrs : (string * string) list;
+  children : tree list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Generic XML subset                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&apos;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec print_tree fmt t =
+  Format.fprintf fmt "@[<v 2><%s" t.tag;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=\"%s\"" k (escape v)) t.attrs;
+  match t.children with
+  | [] -> Format.fprintf fmt "/>@]"
+  | cs ->
+      Format.fprintf fmt ">";
+      List.iter (fun c -> Format.fprintf fmt "@,%a" print_tree c) cs;
+      Format.fprintf fmt "@]@,</%s>" t.tag
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
+
+let expect c s =
+  if looking_at c s then c.pos <- c.pos + String.length s
+  else fail "expected %S at offset %d" s c.pos
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_' || ch = '-' || ch = ':' || ch = '.'
+
+let rec skip_ws_and_comments c =
+  (match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws_and_comments c
+  | Some _ | None -> ());
+  if looking_at c "<!--" then begin
+    c.pos <- c.pos + 4;
+    let rec close () =
+      if c.pos >= String.length c.src then fail "unterminated comment"
+      else if looking_at c "-->" then c.pos <- c.pos + 3
+      else begin
+        advance c;
+        close ()
+      end
+    in
+    close ();
+    skip_ws_and_comments c
+  end
+
+let read_name c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ch when is_name_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if c.pos = start then fail "expected a name at offset %d" c.pos;
+  String.sub c.src start (c.pos - start)
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '&' then begin
+        let rest = String.sub s i (min 6 (n - i)) in
+        let entity, len =
+          if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then
+            ("&", 5)
+          else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then
+            ("<", 4)
+          else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then
+            (">", 4)
+          else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;"
+          then ("\"", 6)
+          else if String.length rest >= 6 && String.sub rest 0 6 = "&apos;"
+          then ("'", 6)
+          else fail "unknown entity at offset %d" i
+        in
+        Buffer.add_string b entity;
+        go (i + len)
+      end
+      else begin
+        Buffer.add_char b s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
+let read_attr_value c =
+  expect c "\"";
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some '"' -> ()
+    | Some _ ->
+        advance c;
+        go ()
+    | None -> fail "unterminated attribute value"
+  in
+  go ();
+  let raw = String.sub c.src start (c.pos - start) in
+  advance c;
+  unescape raw
+
+let rec parse_element c =
+  skip_ws_and_comments c;
+  expect c "<";
+  let tag = read_name c in
+  let rec attrs acc =
+    skip_ws_and_comments c;
+    match peek c with
+    | Some '/' | Some '>' -> List.rev acc
+    | Some _ ->
+        let k = read_name c in
+        skip_ws_and_comments c;
+        expect c "=";
+        skip_ws_and_comments c;
+        let v = read_attr_value c in
+        attrs ((k, v) :: acc)
+    | None -> fail "unterminated element <%s>" tag
+  in
+  let attrs = attrs [] in
+  skip_ws_and_comments c;
+  if looking_at c "/>" then begin
+    c.pos <- c.pos + 2;
+    { tag; attrs; children = [] }
+  end
+  else begin
+    expect c ">";
+    let rec children acc =
+      skip_ws_and_comments c;
+      if looking_at c "</" then begin
+        c.pos <- c.pos + 2;
+        let close = read_name c in
+        if close <> tag then fail "mismatched </%s> for <%s>" close tag;
+        skip_ws_and_comments c;
+        expect c ">";
+        List.rev acc
+      end
+      else children (parse_element c :: acc)
+    in
+    { tag; attrs; children = children [] }
+  end
+
+let parse_tree s =
+  let c = { src = s; pos = 0 } in
+  skip_ws_and_comments c;
+  if looking_at c "<?" then begin
+    let rec close () =
+      if c.pos >= String.length c.src then fail "unterminated declaration"
+      else if looking_at c "?>" then c.pos <- c.pos + 2
+      else begin
+        advance c;
+        close ()
+      end
+    in
+    close ()
+  end;
+  let t = parse_element c in
+  skip_ws_and_comments c;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* IR <-> tree                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let attr t k =
+  match List.assoc_opt k t.attrs with
+  | Some v -> v
+  | None -> fail "<%s> missing attribute %s" t.tag k
+
+let int_attr t k =
+  match int_of_string_opt (attr t k) with
+  | Some v -> v
+  | None -> fail "<%s> attribute %s is not an integer" t.tag k
+
+let ids_attr prefix ids =
+  (prefix, String.concat "," (List.map string_of_int ids))
+
+let loc_attrs prefix = function
+  | None -> [ (prefix ^ "buf", "n"); (prefix ^ "off", "-1") ]
+  | Some (l : Loc.t) ->
+      [
+        (prefix ^ "buf", Buffer_id.name l.Loc.buf);
+        (prefix ^ "off", string_of_int l.Loc.index);
+      ]
+
+let step_to_tree (st : Ir.step) =
+  let depid, deps =
+    match st.Ir.depends with
+    | [] -> ([ -1 ], [ -1 ])
+    | ds -> (List.map fst ds, List.map snd ds)
+  in
+  {
+    tag = "step";
+    attrs =
+      [ ("s", string_of_int st.Ir.s); ("type", Instr.opcode_name st.Ir.op) ]
+      @ loc_attrs "src" st.Ir.src @ loc_attrs "dst" st.Ir.dst
+      @ [
+          ("cnt", string_of_int st.Ir.count);
+          ids_attr "depid" depid;
+          ids_attr "deps" deps;
+          ("hasdep", if st.Ir.has_dep then "1" else "0");
+        ];
+    children = [];
+  }
+
+let tb_to_tree (tb : Ir.tb) =
+  {
+    tag = "tb";
+    attrs =
+      [
+        ("id", string_of_int tb.Ir.tb_id);
+        ("send", string_of_int tb.Ir.send);
+        ("recv", string_of_int tb.Ir.recv);
+        ("chan", string_of_int tb.Ir.chan);
+      ];
+    children = Array.to_list (Array.map step_to_tree tb.Ir.steps);
+  }
+
+let gpu_to_tree (g : Ir.gpu) =
+  {
+    tag = "gpu";
+    attrs =
+      [
+        ("id", string_of_int g.Ir.gpu_id);
+        ("i_chunks", string_of_int g.Ir.input_chunks);
+        ("o_chunks", string_of_int g.Ir.output_chunks);
+        ("s_chunks", string_of_int g.Ir.scratch_chunks);
+      ];
+    children = Array.to_list (Array.map tb_to_tree g.Ir.tbs);
+  }
+
+let to_tree (ir : Ir.t) =
+  let coll = ir.Ir.collective in
+  let coll_attrs =
+    match coll.Collective.kind with
+    | Collective.Broadcast r | Collective.Reduce r | Collective.Gather r
+    | Collective.Scatter r ->
+        [ ("coll", Collective.name coll); ("root", string_of_int r) ]
+    | Collective.Custom c ->
+        [
+          ("coll", "custom");
+          ("cname", c.Collective.custom_name);
+          ("in_chunks", string_of_int c.Collective.input_chunks);
+          ("out_chunks", string_of_int c.Collective.output_chunks);
+        ]
+    | Collective.Allreduce | Collective.Allgather | Collective.Reduce_scatter
+    | Collective.Alltoall | Collective.Alltonext ->
+        [ ("coll", Collective.name coll) ]
+  in
+  {
+    tag = "algo";
+    attrs =
+      [
+        ("name", ir.Ir.name);
+        ("proto", Msccl_topology.Protocol.name ir.Ir.proto);
+        ("nranks", string_of_int coll.Collective.num_ranks);
+        ("chunk_factor", string_of_int coll.Collective.chunk_factor);
+        ("inplace", if coll.Collective.inplace then "1" else "0");
+      ]
+      @ coll_attrs;
+    children = Array.to_list (Array.map gpu_to_tree ir.Ir.gpus);
+  }
+
+let ids_of_attr t k =
+  attr t k |> String.split_on_char ','
+  |> List.map (fun s ->
+         match int_of_string_opt (String.trim s) with
+         | Some v -> v
+         | None -> fail "<%s> attribute %s: bad id list" t.tag k)
+
+let loc_of_attrs t prefix ~rank ~count =
+  match attr t (prefix ^ "buf") with
+  | "n" -> None
+  | b -> (
+      match Buffer_id.of_name b with
+      | None -> fail "<%s> unknown buffer %S" t.tag b
+      | Some buf ->
+          Some (Loc.make ~rank ~buf ~index:(int_attr t (prefix ^ "off")) ~count))
+
+let step_of_tree ~rank t =
+  if t.tag <> "step" then fail "expected <step>, got <%s>" t.tag;
+  let op =
+    match Instr.opcode_of_name (attr t "type") with
+    | Some op -> op
+    | None -> fail "unknown opcode %S" (attr t "type")
+  in
+  let count = int_attr t "cnt" in
+  let depends =
+    match (ids_of_attr t "depid", ids_of_attr t "deps") with
+    | [ -1 ], [ -1 ] -> []
+    | tbs, steps when List.length tbs = List.length steps ->
+        List.combine tbs steps
+    | _ -> fail "<step> depid/deps length mismatch"
+  in
+  {
+    Ir.s = int_attr t "s";
+    op;
+    src = loc_of_attrs t "src" ~rank ~count;
+    dst = loc_of_attrs t "dst" ~rank ~count;
+    count;
+    depends;
+    has_dep = attr t "hasdep" = "1";
+  }
+
+let tb_of_tree ~rank t =
+  if t.tag <> "tb" then fail "expected <tb>, got <%s>" t.tag;
+  {
+    Ir.tb_id = int_attr t "id";
+    send = int_attr t "send";
+    recv = int_attr t "recv";
+    chan = int_attr t "chan";
+    steps = Array.of_list (List.map (step_of_tree ~rank) t.children);
+  }
+
+let gpu_of_tree t =
+  if t.tag <> "gpu" then fail "expected <gpu>, got <%s>" t.tag;
+  let rank = int_attr t "id" in
+  {
+    Ir.gpu_id = rank;
+    input_chunks = int_attr t "i_chunks";
+    output_chunks = int_attr t "o_chunks";
+    scratch_chunks = int_attr t "s_chunks";
+    tbs = Array.of_list (List.map (tb_of_tree ~rank) t.children);
+  }
+
+let of_tree t =
+  if t.tag <> "algo" then fail "expected <algo>, got <%s>" t.tag;
+  let num_ranks = int_attr t "nranks" in
+  let chunk_factor = int_attr t "chunk_factor" in
+  let inplace = attr t "inplace" = "1" in
+  let kind =
+    match attr t "coll" with
+    | "custom" ->
+        Collective.Custom
+          {
+            Collective.custom_name = attr t "cname";
+            input_chunks = int_attr t "in_chunks";
+            output_chunks = int_attr t "out_chunks";
+            expected = (fun ~rank:_ ~index:_ -> None);
+            initial = None;
+          }
+    | name -> (
+        match Collective.kind_of_name name with
+        | None -> fail "unknown collective %S" name
+        | Some k -> (
+            let root () = int_attr t "root" in
+            match k with
+            | Collective.Broadcast _ -> Collective.Broadcast (root ())
+            | Collective.Reduce _ -> Collective.Reduce (root ())
+            | Collective.Gather _ -> Collective.Gather (root ())
+            | Collective.Scatter _ -> Collective.Scatter (root ())
+            | Collective.Allreduce | Collective.Allgather
+            | Collective.Reduce_scatter | Collective.Alltoall
+            | Collective.Alltonext | Collective.Custom _ ->
+                k))
+  in
+  let chunk_factor =
+    match kind with Collective.Custom _ -> 1 | _ -> chunk_factor
+  in
+  let proto =
+    match Msccl_topology.Protocol.of_string (attr t "proto") with
+    | Some p -> p
+    | None -> fail "unknown protocol %S" (attr t "proto")
+  in
+  let ir =
+    {
+      Ir.name = attr t "name";
+      collective = Collective.make kind ~num_ranks ~chunk_factor ~inplace ();
+      proto;
+      gpus = Array.of_list (List.map gpu_of_tree t.children);
+    }
+  in
+  Ir.validate ir;
+  ir
+
+let to_string ir =
+  Format.asprintf "<?xml version=\"1.0\"?>@.%a@." print_tree (to_tree ir)
+
+let of_string s = of_tree (parse_tree s)
+
+let save ir path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ir))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

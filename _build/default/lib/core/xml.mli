@@ -1,0 +1,42 @@
+(** MSCCL-IR XML serialization.
+
+    The on-disk format follows the spirit of msccl's algorithm XML files:
+    an [<algo>] root with per-GPU [<gpu>] elements containing [<tb>] thread
+    blocks and [<step>] instructions. Writing then parsing an IR yields a
+    structurally identical IR, with one caveat: a [Custom] collective's
+    postcondition is a function and cannot round-trip, so parsed custom
+    collectives get a vacuous postcondition (shape-only) — built-in
+    collectives round-trip exactly.
+
+    A small generic XML subset (elements, attributes, comments, no text
+    nodes) is exposed for reuse and testing. *)
+
+type tree = {
+  tag : string;
+  attrs : (string * string) list;
+  children : tree list;
+}
+
+exception Parse_error of string
+
+val parse_tree : string -> tree
+(** Parses one element (after an optional declaration and comments).
+    Raises {!Parse_error} with position information. *)
+
+val print_tree : Format.formatter -> tree -> unit
+(** Pretty-prints with 2-space indentation and escaped attributes. *)
+
+val to_tree : Ir.t -> tree
+
+val of_tree : tree -> Ir.t
+(** Raises {!Parse_error} on missing/ill-typed attributes; the result is
+    validated with {!Ir.validate}. *)
+
+val to_string : Ir.t -> string
+
+val of_string : string -> Ir.t
+
+val save : Ir.t -> string -> unit
+(** [save ir path] writes the XML file. *)
+
+val load : string -> Ir.t

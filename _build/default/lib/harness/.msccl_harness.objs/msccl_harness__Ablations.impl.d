@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Collective Compile Instances List Msccl_algorithms Msccl_core Msccl_topology Report Simulator Sweep

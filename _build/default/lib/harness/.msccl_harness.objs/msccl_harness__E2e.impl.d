@@ -1,0 +1,1 @@
+lib/harness/e2e.ml: Float Format List Msccl_algorithms Msccl_baselines Msccl_core Msccl_topology Printf Simulator

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: List Msccl_algorithms Msccl_baselines Msccl_core Msccl_topology Printf Report Simulator Sweep

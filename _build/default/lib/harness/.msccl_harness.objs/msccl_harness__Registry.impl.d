@@ -1,0 +1,1 @@
+lib/harness/registry.ml: List Msccl_algorithms Msccl_core Msccl_topology Printf String

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Format List Printf String Sweep

@@ -1,0 +1,1 @@
+lib/harness/sweep.ml: Float List Option Printf

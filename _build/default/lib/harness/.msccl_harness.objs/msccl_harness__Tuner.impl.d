@@ -1,0 +1,1 @@
+lib/harness/tuner.ml: Float Format Ir List Msccl_algorithms Msccl_core Msccl_topology Simulator Sweep

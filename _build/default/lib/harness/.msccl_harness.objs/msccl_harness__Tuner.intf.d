@@ -1,0 +1,1 @@
+lib/harness/tuner.mli: Format Msccl_baselines Msccl_core Msccl_topology

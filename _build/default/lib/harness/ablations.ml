@@ -1,0 +1,111 @@
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+(* slowdown factor: time without the optimization / time with it *)
+let ratio_series ~label ~without ~with_ =
+  Report.speedup_series ~label ~baseline:without with_
+
+let sim ?max_tiles ?(occupancy = true) topo ir sizes =
+  List.map
+    (fun buffer_bytes ->
+      (Simulator.run_buffer ~topo ~buffer_bytes ?max_tiles
+         ~check_occupancy:occupancy ir)
+        .Simulator.time)
+    sizes
+
+let pipelining () =
+  let topo = T.Presets.ndv4 ~nodes:2 in
+  let ir =
+    A.Hierarchical_allreduce.ir ~proto:T.Protocol.Simple ~instances:4
+      ~verify:false ~nodes:2 ~gpus_per_node:8 ()
+  in
+  let sizes = Sweep.sizes_coarse ~from:(Sweep.mib 1.) ~upto:(Sweep.gib 4.) in
+  {
+    Report.fig_id = "ab-pipeline";
+    title = "Ablation: tile pipelining (hierarchical AllReduce, 2x8xA100)";
+    ylabel = "slowdown with sequential tiles";
+    sizes;
+    series =
+      [
+        ratio_series ~label:"sequential/pipelined"
+          ~without:(sim ~max_tiles:1 topo ir sizes)
+          ~with_:(sim ~max_tiles:16 topo ir sizes);
+      ];
+  }
+
+let aggregation () =
+  let topo = T.Presets.ndv4 ~nodes:4 in
+  let mk aggregate =
+    A.Two_step_alltoall.ir ~proto:T.Protocol.Simple ~aggregate ~verify:false
+      ~nodes:4 ~gpus_per_node:8 ()
+  in
+  let sizes = Sweep.sizes_coarse ~from:(Sweep.kib 256.) ~upto:(Sweep.gib 1.) in
+  {
+    Report.fig_id = "ab-aggregate";
+    title = "Ablation: IB send aggregation (Two-Step AllToAll, 4x8xA100)";
+    ylabel = "slowdown without aggregation";
+    sizes;
+    series =
+      [
+        ratio_series ~label:"per-chunk/aggregated"
+          ~without:(sim ~occupancy:false topo (mk false) sizes)
+          ~with_:(sim ~occupancy:false topo (mk true) sizes);
+      ];
+  }
+
+let ring_with_fusion fuse =
+  let num_ranks = 8 in
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks ~chunk_factor:num_ranks
+      ~inplace:true ()
+  in
+  let report =
+    Compile.compile ~name:"ring" ~fuse ~verify:false coll
+      (A.Ring_allreduce.program ~num_ranks ~channels:1)
+  in
+  Instances.blocked report.Compile.ir ~instances:8
+
+let fusion () =
+  let topo = T.Presets.ndv4 ~nodes:1 in
+  let sizes = Sweep.sizes ~from:(Sweep.kib 8.) ~upto:(Sweep.mib 64.) in
+  {
+    Report.fig_id = "ab-fusion";
+    title = "Ablation: instruction fusion (Ring AllReduce r=8, 8xA100)";
+    ylabel = "slowdown without rcs/rrcs/rrs fusion";
+    sizes;
+    series =
+      [
+        ratio_series ~label:"unfused/fused"
+          ~without:(sim topo (ring_with_fusion false) sizes)
+          ~with_:(sim topo (ring_with_fusion true) sizes);
+      ];
+  }
+
+let channel_distribution () =
+  let topo = T.Presets.ndv4 ~nodes:1 in
+  let mk channels =
+    A.Ring_allreduce.ir ~proto:T.Protocol.LL ~channels ~instances:8
+      ~verify:false ~num_ranks:8 ()
+  in
+  let sizes = Sweep.sizes ~from:(Sweep.kib 8.) ~upto:(Sweep.mib 64.) in
+  {
+    Report.fig_id = "ab-channels";
+    title = "Ablation: logical-ring channel distribution (8xA100, LL r=8)";
+    ylabel = "ch=4 time / ch=1 time";
+    sizes;
+    series =
+      [
+        ratio_series ~label:"ch4/ch1"
+          ~without:(sim topo (mk 4) sizes)
+          ~with_:(sim topo (mk 1) sizes);
+      ];
+  }
+
+let all =
+  [
+    ("ab-pipeline", pipelining);
+    ("ab-aggregate", aggregation);
+    ("ab-fusion", fusion);
+    ("ab-channels", channel_distribution);
+  ]

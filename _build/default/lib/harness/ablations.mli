@@ -1,0 +1,25 @@
+(** Ablation studies for the design choices the paper motivates but does
+    not plot separately. Each figure reports the {e slowdown factor} from
+    disabling one optimization (value > 1 means the optimization helps at
+    that size).
+
+    - {!pipelining}: Fig. 6's point — executing the hierarchical AllReduce's
+      tiles sequentially instead of streaming them through the four phases.
+    - {!aggregation}: §5.1 — shipping the Two-Step AllToAll's staged chunks
+      as per-chunk InfiniBand sends instead of one coalesced transfer.
+    - {!fusion}: §4.3 — running the Ring AllReduce with fusion disabled
+      (separate recv/reduce/send instructions instead of rrs/rcs).
+    - {!channel_distribution}: §7.1.1's ch=4 logical-ring distribution vs
+      ch=1; in this simulator's cost model the distribution does not pay
+      (values < 1), which EXPERIMENTS.md discusses — kept as an honest
+      record of where the model and the paper's hardware differ. *)
+
+val pipelining : unit -> Report.figure
+
+val aggregation : unit -> Report.figure
+
+val fusion : unit -> Report.figure
+
+val channel_distribution : unit -> Report.figure
+
+val all : (string * (unit -> Report.figure)) list

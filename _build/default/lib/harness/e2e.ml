@@ -1,0 +1,131 @@
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+module B = Msccl_baselines
+
+type row = {
+  workload : string;
+  nccl_time : float;
+  msccl_time : float;
+  speedup : float;
+}
+
+let mib = 1024. *. 1024.
+
+(* The runtime picks the fastest registered algorithm for each size and
+   falls back to NCCL otherwise (paper §6). *)
+let best_of candidates ~nccl ~buffer_bytes =
+  List.fold_left
+    (fun acc time -> Float.min acc (time ~buffer_bytes))
+    (nccl ~buffer_bytes) candidates
+
+(* 8xA100 inference step: one AllReduce per transformer layer's row-parallel
+   matmuls; mid-sized buffers dominated by latency, where AllPairs and the
+   tuned Ring win (Fig. 8a). *)
+let inference () =
+  let topo = T.Presets.ndv4 ~nodes:1 in
+  let num_ranks = 8 in
+  let sim ir ~buffer_bytes =
+    (Simulator.run_buffer ~topo ~buffer_bytes ir).Simulator.time
+  in
+  let candidates =
+    [
+      sim (A.Allpairs_allreduce.ir ~proto:T.Protocol.LL ~instances:2 ~num_ranks ());
+      sim (A.Allpairs_allreduce.ir ~proto:T.Protocol.LL ~instances:4 ~num_ranks ());
+      sim (A.Ring_allreduce.ir ~proto:T.Protocol.LL ~instances:8 ~num_ranks ());
+      sim (A.Ring_allreduce.ir ~proto:T.Protocol.LL128 ~instances:8 ~num_ranks ());
+    ]
+  in
+  let nccl = B.Nccl_model.allreduce topo in
+  (* (bytes, calls per step): attention + MLP all-reduces of a GPT-scale
+     decoder, plus one logits-sized collective. *)
+  let trace = [ (1. *. mib, 96); (3. *. mib, 96); (16. *. mib, 1) ] in
+  let total f =
+    List.fold_left
+      (fun acc (buffer_bytes, calls) ->
+        acc +. (float_of_int calls *. f ~buffer_bytes))
+      0. trace
+  in
+  let nccl_time = total nccl in
+  let msccl_time = total (fun ~buffer_bytes ->
+      best_of candidates ~nccl ~buffer_bytes)
+  in
+  {
+    workload = "LM inference, 8xA100";
+    nccl_time;
+    msccl_time;
+    speedup = nccl_time /. msccl_time;
+  }
+
+(* 256xA100 MoE training step: expert-parallel AllToAll across all GPUs
+   (twice: dispatch and combine) plus the data-parallel gradient AllReduce
+   within each 2-node group. The expert size is the paper's "model
+   architecture" axis. *)
+let moe ~label ~alltoall_bytes ~allreduce_bytes =
+  let a2a_topo = T.Presets.ndv4 ~nodes:32 in
+  let sim ?(max_tiles = 4) topo ir ~buffer_bytes =
+    (Simulator.run_buffer ~topo ~buffer_bytes ~max_tiles
+       ~check_occupancy:false ir)
+      .Simulator.time
+  in
+  let two_step proto =
+    sim a2a_topo
+      (A.Two_step_alltoall.ir ~proto ~verify:false ~nodes:32 ~gpus_per_node:8
+         ())
+  in
+  let nccl_a2a = B.Nccl_model.alltoall a2a_topo in
+  let msccl_a2a ~buffer_bytes =
+    best_of
+      [ two_step T.Protocol.LL128; two_step T.Protocol.Simple ]
+      ~nccl:nccl_a2a ~buffer_bytes
+  in
+  let dp_topo = T.Presets.ndv4 ~nodes:2 in
+  let hier proto r =
+    sim ~max_tiles:16 dp_topo
+      (A.Hierarchical_allreduce.ir ~proto ~instances:r ~verify:false ~nodes:2
+         ~gpus_per_node:8 ())
+  in
+  let nccl_ar = B.Nccl_model.allreduce dp_topo in
+  let msccl_ar ~buffer_bytes =
+    best_of
+      [
+        hier T.Protocol.LL 1; hier T.Protocol.LL128 2; hier T.Protocol.Simple 4;
+      ]
+      ~nccl:nccl_ar ~buffer_bytes
+  in
+  let step a2a ar =
+    (2. *. a2a ~buffer_bytes:alltoall_bytes)
+    +. ar ~buffer_bytes:allreduce_bytes
+  in
+  let nccl_time = step nccl_a2a nccl_ar in
+  let msccl_time = step msccl_a2a msccl_ar in
+  {
+    workload = Printf.sprintf "MoE training, 256xA100 (%s)" label;
+    nccl_time;
+    msccl_time;
+    speedup = nccl_time /. msccl_time;
+  }
+
+let run_inference_only () = [ inference () ]
+
+let run () =
+  [
+    inference ();
+    moe ~label:"small experts" ~alltoall_bytes:(64. *. mib)
+      ~allreduce_bytes:(64. *. mib);
+    moe ~label:"medium experts" ~alltoall_bytes:(256. *. mib)
+      ~allreduce_bytes:(64. *. mib);
+    moe ~label:"large experts" ~alltoall_bytes:(1024. *. mib)
+      ~allreduce_bytes:(64. *. mib);
+  ]
+
+let print fmt rows =
+  Format.fprintf fmt "== e2e: end-to-end workloads (paper §7.6) ==@.";
+  Format.fprintf fmt "%-40s %12s %12s %9s@." "workload" "NCCL (ms)"
+    "MSCCL (ms)" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-40s %12.3f %12.3f %8.2fx@." r.workload
+        (r.nccl_time *. 1e3) (r.msccl_time *. 1e3) r.speedup)
+    rows;
+  Format.fprintf fmt "@."

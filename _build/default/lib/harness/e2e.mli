@@ -1,0 +1,32 @@
+(** End-to-end workload replay (paper §7.6).
+
+    The paper reports MSCCLang accelerating two production workloads:
+
+    - serving a public-facing language model on 8×A100 (1.22–1.29× GPU-time
+      speedup, 20% overall): modelled as an inference step's AllReduce
+      trace on one NDv4 node;
+    - training a large Mixture-of-Experts model on 256×A100 (1.10–1.89×
+      depending on the model architecture): modelled as a training step's
+      communication — two expert-parallel AllToAlls across all 256 GPUs
+      plus a data-parallel gradient AllReduce within each 2-node group —
+      for three expert sizes (the architecture axis).
+
+    For each call the MSCCLang runtime picks the fastest algorithm for the
+    size range and falls back to NCCL when none wins (paper §6: dynamic
+    algorithm selection); the baseline runs everything through NCCL. *)
+
+type row = {
+  workload : string;
+  nccl_time : float;  (** Seconds per step, baseline. *)
+  msccl_time : float;  (** Seconds per step with MSCCLang algorithms. *)
+  speedup : float;
+}
+
+val run : unit -> row list
+(** Simulates all workloads (several minutes of compute for the 256-GPU
+    traces). *)
+
+val run_inference_only : unit -> row list
+(** Just the single-node inference workload (cheap; used by tests). *)
+
+val print : Format.formatter -> row list -> unit

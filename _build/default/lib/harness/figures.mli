@@ -1,0 +1,50 @@
+(** One entry point per figure of the paper's evaluation (§7).
+
+    Every function compiles the MSCCLang algorithms and baselines involved,
+    sweeps the paper's buffer-size axis through the simulator, and returns
+    the same series the figure plots. Figures 8a–8h are speedups over the
+    respective baseline (NCCL, or the hand-written CUDA implementation);
+    Figure 11 is absolute latency in microseconds.
+
+    Scale notes (documented per-experiment in EXPERIMENTS.md):
+
+    - fig8e uses 32 NDv4 nodes to reach the paper's 256 A100 GPUs (the
+      paper says "16-node 256×A100"; NDv4 nodes have 8 GPUs);
+    - the AllToNext figures disable the SM-occupancy check for the largest
+      parallelization factors, modelling NCCL-style time-sharing that the
+      resident-thread-block model would reject;
+    - sweeps over many-hundred-GPU systems use every-other-size sampling
+      to bound simulation cost. *)
+
+val fig8a : unit -> Report.figure
+(** 1-node 8×A100 AllReduce speedup over NCCL. *)
+
+val fig8b : unit -> Report.figure
+(** 1-node 16×V100 AllReduce speedup over NCCL. *)
+
+val fig8c : unit -> Report.figure
+(** 2-node 16×A100 AllReduce (hierarchical) speedup over NCCL, including
+    the NCCL-collectives-composed implementation. *)
+
+val fig8d : unit -> Report.figure
+(** 2-node 32×V100 AllReduce. *)
+
+val fig8e : unit -> Report.figure
+(** 256×A100 AllToAll speedup over the hand-optimized CUDA Two-Step. *)
+
+val fig8f : unit -> Report.figure
+(** 4-node 64×V100 AllToAll speedup over CUDA Two-Step. *)
+
+val fig8g : unit -> Report.figure
+(** 3-node 24×A100 AllToNext speedup over the CUDA point-to-point
+    baseline. *)
+
+val fig8h : unit -> Report.figure
+(** 4-node 64×V100 AllToNext speedup over CUDA. *)
+
+val fig11 : unit -> Report.figure
+(** (1,2,2) AllGather on DGX-1: latency (µs) of SCCL vs MSCCLang
+    Simple/LL. *)
+
+val all : (string * (unit -> Report.figure)) list
+(** Every figure keyed by id, in paper order. *)

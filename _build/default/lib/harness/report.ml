@@ -1,0 +1,49 @@
+type series = {
+  label : string;
+  values : float list;
+}
+
+type figure = {
+  fig_id : string;
+  title : string;
+  ylabel : string;
+  sizes : float list;
+  series : series list;
+}
+
+let speedup_series ~label ~baseline values =
+  { label; values = List.map2 (fun b v -> b /. v) baseline values }
+
+let print fmt fig =
+  Format.fprintf fmt "== %s: %s (%s) ==@." fig.fig_id fig.title fig.ylabel;
+  let width =
+    List.fold_left (fun w s -> max w (String.length s.label)) 8 fig.series
+  in
+  Format.fprintf fmt "%10s" "size";
+  List.iter (fun s -> Format.fprintf fmt " | %*s" width s.label) fig.series;
+  Format.fprintf fmt "@.";
+  List.iteri
+    (fun i size ->
+      Format.fprintf fmt "%10s" (Sweep.pretty size);
+      List.iter
+        (fun s -> Format.fprintf fmt " | %*.3f" width (List.nth s.values i))
+        fig.series;
+      Format.fprintf fmt "@.")
+    fig.sizes;
+  Format.fprintf fmt "@."
+
+let peak s ~sizes =
+  List.fold_left2
+    (fun (best, at) v size -> if v > best then (v, size) else (best, at))
+    (neg_infinity, 0.) s.values sizes
+
+let summarize fig =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "%s %s:\n" fig.fig_id fig.title);
+  List.iter
+    (fun s ->
+      let v, at = peak s ~sizes:fig.sizes in
+      Buffer.add_string b
+        (Printf.sprintf "  %-28s peak %.2f at %s\n" s.label v (Sweep.pretty at)))
+    fig.series;
+  Buffer.contents b

@@ -1,0 +1,33 @@
+(** Figure reproduction tables.
+
+    Each paper figure becomes a {!figure}: an x-axis of buffer sizes and a
+    set of named series (speedups over a baseline, or absolute latencies).
+    {!print} renders the same rows the paper plots; {!summarize} extracts
+    the headline numbers (peak speedup and where it occurs) recorded in
+    EXPERIMENTS.md. *)
+
+type series = {
+  label : string;
+  values : float list;  (** One value per x-axis point. *)
+}
+
+type figure = {
+  fig_id : string;  (** e.g. ["fig8a"]. *)
+  title : string;
+  ylabel : string;  (** e.g. ["speedup over NCCL"]. *)
+  sizes : float list;  (** X axis, bytes. *)
+  series : series list;
+}
+
+val speedup_series :
+  label:string -> baseline:float list -> float list -> series
+(** Pointwise [baseline /. value] (higher = faster than baseline). *)
+
+val print : Format.formatter -> figure -> unit
+(** A column-per-series table with pretty sizes. *)
+
+val peak : series -> sizes:float list -> float * float
+(** [(best value, size where it occurs)]. *)
+
+val summarize : figure -> string
+(** One line per series: peak value and its buffer size. *)

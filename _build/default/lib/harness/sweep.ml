@@ -1,0 +1,29 @@
+let sizes ~from ~upto =
+  let rec go acc s = if s > upto *. 1.001 then List.rev acc else go (s :: acc) (s *. 2.) in
+  go [] from
+
+let sizes_coarse ~from ~upto =
+  let rec go acc s = if s > upto *. 1.001 then List.rev acc else go (s :: acc) (s *. 4.) in
+  go [] from
+
+let kib x = x *. 1024.
+
+let mib x = x *. 1024. *. 1024.
+
+let gib x = x *. 1024. *. 1024. *. 1024.
+
+let pretty bytes =
+  let b = bytes in
+  let whole u scale =
+    let v = b /. scale in
+    if v >= 1. && Float.abs (v -. Float.round v) < 0.01 then
+      Some (Printf.sprintf "%.0f%s" (Float.round v) u)
+    else None
+  in
+  let candidates =
+    [ whole "GB" (1024. *. 1024. *. 1024.); whole "MB" (1024. *. 1024.);
+      whole "KB" 1024.; whole "B" 1. ]
+  in
+  match List.find_opt Option.is_some candidates with
+  | Some (Some s) -> s
+  | Some None | None -> Printf.sprintf "%.0fB" b

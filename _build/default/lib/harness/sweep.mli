@@ -1,0 +1,17 @@
+(** Buffer-size sweeps matching the paper's figure axes. *)
+
+val sizes : from:float -> upto:float -> float list
+(** Powers of two between [from] and [upto] inclusive (bytes). *)
+
+val sizes_coarse : from:float -> upto:float -> float list
+(** Powers of four — half the points, for expensive simulations. *)
+
+val kib : float -> float
+(** [kib x] is [x] KiB in bytes. *)
+
+val mib : float -> float
+
+val gib : float -> float
+
+val pretty : float -> string
+(** ["1KB"], ["512KB"], ["4MB"], ["2GB"], ... as in the paper's axes. *)

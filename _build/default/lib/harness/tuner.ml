@@ -1,0 +1,129 @@
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+type candidate = {
+  cand_name : string;
+  cand_ir : Ir.t;
+  cand_max_tiles : int;
+}
+
+let candidate ?(max_tiles = 4) ~name ir =
+  { cand_name = name; cand_ir = ir; cand_max_tiles = max_tiles }
+
+type entry = {
+  lo : float;
+  hi : float;
+  choice : string;
+  speedup : float;
+}
+
+type table = {
+  t_topology : string;
+  t_entries : entry list;
+}
+
+let nccl_name = "NCCL"
+
+let tune ~topo ~nccl ~candidates ?sizes () =
+  let sizes =
+    match sizes with
+    | Some s -> s
+    | None -> Sweep.sizes ~from:1024. ~upto:(Sweep.gib 1.)
+  in
+  if sizes = [] then invalid_arg "Tuner.tune: empty size grid";
+  (* Winner and speedup at every grid point. *)
+  let points =
+    List.map
+      (fun buffer_bytes ->
+        let base = nccl ~buffer_bytes in
+        let best =
+          List.fold_left
+            (fun (bn, bt) c ->
+              let t =
+                (Simulator.run_buffer ~topo ~buffer_bytes
+                   ~max_tiles:c.cand_max_tiles ~check_occupancy:false
+                   c.cand_ir)
+                  .Simulator.time
+              in
+              if t < bt then (c.cand_name, t) else (bn, bt))
+            (nccl_name, base) candidates
+        in
+        (buffer_bytes, fst best, base /. snd best))
+      sizes
+  in
+  (* Merge adjacent grid points with the same winner. *)
+  let entries =
+    List.fold_left
+      (fun acc (size, name, speedup) ->
+        match acc with
+        | { lo; choice; speedup = s0; _ } :: rest when choice = name ->
+            { lo; hi = size; choice; speedup = Float.max s0 speedup } :: rest
+        | _ -> { lo = size; hi = size; choice = name; speedup } :: acc)
+      [] points
+  in
+  { t_topology = T.Topology.name topo; t_entries = List.rev entries }
+
+let select table ~buffer_bytes =
+  let rec go = function
+    | [] -> nccl_name
+    | [ last ] -> last.choice
+    | e :: rest -> if buffer_bytes <= e.hi then e.choice else go rest
+  in
+  go table.t_entries
+
+let allreduce_candidates topo =
+  let nodes = T.Topology.num_nodes topo in
+  let g = T.Topology.gpus_per_node topo in
+  if nodes = 1 then
+    let num_ranks = g in
+    [
+      candidate ~name:"allpairs LL r=2"
+        (A.Allpairs_allreduce.ir ~proto:T.Protocol.LL ~instances:2
+           ~verify:false ~num_ranks ());
+      candidate ~name:"allpairs LL r=4"
+        (A.Allpairs_allreduce.ir ~proto:T.Protocol.LL ~instances:4
+           ~verify:false ~num_ranks ());
+      candidate ~name:"ring LL r=8"
+        (A.Ring_allreduce.ir ~proto:T.Protocol.LL ~instances:8 ~verify:false
+           ~num_ranks ());
+      candidate ~name:"ring LL128 r=8"
+        (A.Ring_allreduce.ir ~proto:T.Protocol.LL128 ~instances:8
+           ~verify:false ~num_ranks ());
+      candidate ~name:"ring Simple r=24"
+        (A.Ring_allreduce.ir ~proto:T.Protocol.Simple ~instances:24
+           ~verify:false ~num_ranks ());
+    ]
+  else
+    let hier proto r name =
+      candidate ~max_tiles:16 ~name
+        (A.Hierarchical_allreduce.ir ~proto ~instances:r ~verify:false ~nodes
+           ~gpus_per_node:g ())
+    in
+    [
+      hier T.Protocol.LL 1 "hierarchical LL r=1";
+      hier T.Protocol.LL128 2 "hierarchical LL128 r=2";
+      hier T.Protocol.Simple 8 "hierarchical Simple r=8";
+    ]
+
+let alltoall_candidates topo =
+  let nodes = T.Topology.num_nodes topo in
+  let g = T.Topology.gpus_per_node topo in
+  if nodes = 1 then []
+  else
+    let ts proto name =
+      candidate ~name
+        (A.Two_step_alltoall.ir ~proto ~verify:false ~nodes ~gpus_per_node:g
+           ())
+    in
+    [
+      ts T.Protocol.LL128 "two-step LL128"; ts T.Protocol.Simple "two-step Simple";
+    ]
+
+let pp_table fmt t =
+  Format.fprintf fmt "selection table for %s:@." t.t_topology;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  %10s .. %-10s -> %-24s (%.2fx vs NCCL)@."
+        (Sweep.pretty e.lo) (Sweep.pretty e.hi) e.choice e.speedup)
+    t.t_entries

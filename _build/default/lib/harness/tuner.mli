@@ -1,0 +1,55 @@
+(** Automatic size-range algorithm selection (paper §6).
+
+    "The runtime dynamically selects the right algorithm to invoke based on
+    user configurable size ranges and falls back to NCCL's built-in
+    algorithms otherwise. This allows a user to hyper-optimize MSCCLang
+    programs to a specific use case."
+
+    The tuner builds those size ranges: it sweeps a set of candidate
+    configurations (algorithm × protocol × parallelization) and the NCCL
+    baseline over a buffer-size grid on a given topology, then merges
+    adjacent grid points won by the same candidate into contiguous ranges.
+    The result is the selection table a deployment would install. *)
+
+type candidate = {
+  cand_name : string;  (** e.g. ["allpairs LL r=2"]. *)
+  cand_ir : Msccl_core.Ir.t;
+  cand_max_tiles : int;
+}
+
+val candidate :
+  ?max_tiles:int -> name:string -> Msccl_core.Ir.t -> candidate
+
+type entry = {
+  lo : float;  (** Range start in bytes (inclusive). *)
+  hi : float;  (** Range end in bytes (inclusive grid point). *)
+  choice : string;  (** Winning candidate, or ["NCCL"] for the fallback. *)
+  speedup : float;  (** Expected speedup over NCCL at the range's center. *)
+}
+
+type table = {
+  t_topology : string;
+  t_entries : entry list;  (** Contiguous, covering the swept range. *)
+}
+
+val tune :
+  topo:Msccl_topology.Topology.t ->
+  nccl:Msccl_baselines.Nccl_model.sized_time ->
+  candidates:candidate list ->
+  ?sizes:float list ->
+  unit ->
+  table
+(** [sizes] defaults to powers of two from 1KB to 1GB. *)
+
+val select : table -> buffer_bytes:float -> string
+(** The table's choice for a size (clamping to the nearest range). *)
+
+val allreduce_candidates : Msccl_topology.Topology.t -> candidate list
+(** The AllReduce configurations of the paper's evaluation: All Pairs
+    (LL, r=2/4) and tuned Ring (LL/LL128, r=8) on one node; hierarchical
+    (LL r=1 / LL128 r=2 / Simple r=8) on several. *)
+
+val alltoall_candidates : Msccl_topology.Topology.t -> candidate list
+(** Two-Step (LL128 / Simple) on multi-node topologies. *)
+
+val pp_table : Format.formatter -> table -> unit

@@ -1,0 +1,182 @@
+(* Fluid-flow discrete-event engine. Each active flow progresses at
+   min(cap, min_r capacity(r)/nflows(r)); whenever a flow starts or
+   completes, flows sharing a resource with it catch up their remaining
+   bytes and get a new rate.
+
+   Completion events are rescheduled lazily: when a flow's rate drops, its
+   already-scheduled (now too early) completion event is left in place —
+   firing it just catches the flow up and schedules a fresh event at the
+   then-current rate. Only a rate increase forces an immediate earlier
+   event. This collapses any number of intermediate rate changes into at
+   most one extra firing, keeping the event count linear in the number of
+   flows even when thousands share a resource (e.g. a 256-GPU AllToAll all
+   hammering the same NICs). Stale events are skipped via a per-flow
+   version counter. *)
+
+type flow = {
+  fid : int;
+  hops : int list;
+  cap : float;
+  on_complete : unit -> unit;
+  mutable remaining : float;
+  mutable rate : float;
+  mutable last_update : float;
+  mutable version : int;
+  mutable scheduled_eta : float;
+  mutable finished : bool;
+}
+
+type event =
+  | Callback of (unit -> unit)
+  | Flow_done of { fid : int; version : int }
+
+type t = {
+  capacities : float array;
+  counts : int array;  (* active flows per resource *)
+  on_resource : (int, flow) Hashtbl.t array;  (* resource -> flows, by fid *)
+  flows : (int, flow) Hashtbl.t;
+  events : event Pqueue.t;
+  mutable now : float;
+  mutable next_fid : int;
+  mutable processed : int;
+}
+
+let create ~capacities =
+  Array.iter
+    (fun c -> if c <= 0. then invalid_arg "Engine.create: capacity <= 0")
+    capacities;
+  {
+    capacities;
+    counts = Array.make (Array.length capacities) 0;
+    on_resource = Array.init (Array.length capacities) (fun _ -> Hashtbl.create 8);
+    flows = Hashtbl.create 64;
+    events = Pqueue.create ();
+    now = 0.;
+    next_fid = 0;
+    processed = 0;
+  }
+
+let now t = t.now
+
+let at t time f =
+  if time < t.now -. 1e-12 then invalid_arg "Engine.at: time in the past";
+  Pqueue.add t.events ~priority:(Float.max time t.now) (Callback f)
+
+let after t delay f =
+  if delay < 0. then invalid_arg "Engine.after: negative delay";
+  at t (t.now +. delay) f
+
+let rate_of t flow =
+  let share h = t.capacities.(h) /. float_of_int t.counts.(h) in
+  List.fold_left (fun acc h -> Float.min acc (share h)) flow.cap flow.hops
+
+(* Bring a flow's [remaining] up to date with the current time. *)
+let catch_up t flow =
+  let dt = t.now -. flow.last_update in
+  if dt > 0. then begin
+    flow.remaining <- Float.max 0. (flow.remaining -. (flow.rate *. dt));
+    flow.last_update <- t.now
+  end
+
+let schedule_completion t flow =
+  flow.version <- flow.version + 1;
+  let eta = t.now +. (flow.remaining /. flow.rate) in
+  flow.scheduled_eta <- eta;
+  Pqueue.add t.events ~priority:eta
+    (Flow_done { fid = flow.fid; version = flow.version })
+
+(* After a rate change, only reschedule when the flow now finishes earlier
+   than its pending event; otherwise let the pending event fire early and
+   resynchronize then. *)
+let maybe_reschedule t flow =
+  let eta = t.now +. (flow.remaining /. flow.rate) in
+  if eta < flow.scheduled_eta -. 1e-15 then schedule_completion t flow
+
+(* Visit every flow sharing a resource with [hops]. Flows on two shared
+   resources are visited twice, which is harmless: catch-up and rate
+   reassignment are both idempotent at a fixed time. *)
+let iter_affected t hops f =
+  List.iter (fun h -> Hashtbl.iter (fun _ fl -> f fl) t.on_resource.(h)) hops
+
+let reassign_rates t hops =
+  iter_affected t hops (fun f ->
+      if not f.finished then begin
+        let r = rate_of t f in
+        if r <> f.rate then begin
+          f.rate <- r;
+          maybe_reschedule t f
+        end
+      end)
+
+let start_flow t ~bytes ~hops ~cap on_complete =
+  if cap <= 0. then invalid_arg "Engine.start_flow: cap <= 0";
+  List.iter
+    (fun h ->
+      if h < 0 || h >= Array.length t.capacities then
+        invalid_arg "Engine.start_flow: bad resource id")
+    hops;
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  let flow =
+    {
+      fid;
+      hops;
+      cap;
+      on_complete;
+      remaining = Float.max 0. bytes;
+      rate = 0.;
+      last_update = t.now;
+      version = 0;
+      scheduled_eta = infinity;
+      finished = false;
+    }
+  in
+  (* Settle everyone sharing a resource before the counts change. *)
+  iter_affected t hops (fun f -> catch_up t f);
+  List.iter (fun h -> t.counts.(h) <- t.counts.(h) + 1) hops;
+  List.iter (fun h -> Hashtbl.replace t.on_resource.(h) fid flow) hops;
+  Hashtbl.add t.flows fid flow;
+  reassign_rates t hops;
+  flow.rate <- rate_of t flow;
+  schedule_completion t flow
+
+let finish_flow t flow =
+  flow.finished <- true;
+  Hashtbl.remove t.flows flow.fid;
+  iter_affected t flow.hops (fun f -> if not f.finished then catch_up t f);
+  List.iter (fun h -> t.counts.(h) <- t.counts.(h) - 1) flow.hops;
+  List.iter (fun h -> Hashtbl.remove t.on_resource.(h) flow.fid) flow.hops;
+  reassign_rates t flow.hops;
+  flow.on_complete ()
+
+(* Completion times are computed as remaining/rate, so a tiny float residue
+   can survive; anything below one byte is considered delivered. *)
+let residue = 1.0
+
+let handle t = function
+  | Callback f -> f ()
+  | Flow_done { fid; version } -> (
+      match Hashtbl.find_opt t.flows fid with
+      | None -> ()  (* already finished *)
+      | Some flow ->
+          if flow.version = version then begin
+            catch_up t flow;
+            if flow.remaining <= residue then finish_flow t flow
+            else schedule_completion t flow
+          end)
+
+let run t =
+  let rec loop () =
+    match Pqueue.pop t.events with
+    | None -> ()
+    | Some (time, ev) ->
+        if time > t.now then t.now <- time;
+        t.processed <- t.processed + 1;
+        handle t ev;
+        loop ()
+  in
+  loop ()
+
+let events_processed t = t.processed
+
+let active_flows t = Hashtbl.length t.flows

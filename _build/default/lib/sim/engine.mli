@@ -1,0 +1,46 @@
+(** Discrete-event engine with fluid-flow bandwidth sharing.
+
+    Time is in seconds. Two primitives drive a simulation:
+
+    - timed callbacks ({!at} / {!after}), and
+    - {e flows}: data transfers of a given byte count across a list of
+      shared resources. While a flow is active its rate is
+      [min(cap, min over its resources r of capacity(r) / nflows(r))] —
+      i.e. every resource is shared equally among the flows crossing it,
+      and each flow is additionally capped (modelling the maximum bandwidth
+      a single thread block can drive, paper §5.1). Rates are recomputed
+      whenever the set of flows on a resource changes, so contention between
+      overlapping transfers is captured without fixed time-stepping.
+
+    The engine is deterministic: simultaneous events fire in creation
+    order. *)
+
+type t
+
+val create : capacities:float array -> t
+(** [capacities.(r)] is the bandwidth of resource [r] in bytes/second. *)
+
+val now : t -> float
+
+val at : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute time (>= [now t]). *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** Schedule a callback [delay] seconds from now. *)
+
+val start_flow :
+  t -> bytes:float -> hops:int list -> cap:float -> (unit -> unit) -> unit
+(** Begin a transfer; the callback fires when the last byte arrives.
+    [hops] is the list of resource ids the flow occupies; [cap] is the
+    per-flow rate cap in bytes/second. A flow with [bytes <= 0.] completes
+    at the current time (still asynchronously, in event order). *)
+
+val run : t -> unit
+(** Process events until none remain. Callbacks may schedule further events
+    and flows. *)
+
+val events_processed : t -> int
+(** Number of events processed so far (a determinism/effort metric). *)
+
+val active_flows : t -> int
+(** Number of flows currently in the air. *)

@@ -1,0 +1,77 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let entry_lt a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let get t i =
+  match t.heap.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get t i) (get t parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let add t ~priority value =
+  if t.size = Array.length t.heap then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.heap.(t.size) <- Some { priority; seq; value };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.priority, top.value)
+  end
+
+let peek t = if t.size = 0 then None else
+    let top = get t 0 in
+    Some (top.priority, top.value)
+
+let clear t =
+  Array.fill t.heap 0 t.size None;
+  t.size <- 0

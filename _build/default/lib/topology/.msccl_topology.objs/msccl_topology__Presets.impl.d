@@ -1,0 +1,1 @@
+lib/topology/presets.ml: Array Hashtbl Link List Printf Topology

@@ -1,0 +1,1 @@
+lib/topology/presets.mli: Link Topology

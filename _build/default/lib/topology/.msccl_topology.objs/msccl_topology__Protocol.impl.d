@@ -1,0 +1,1 @@
+lib/topology/protocol.ml: Format String

@@ -1,0 +1,1 @@
+lib/topology/protocol.mli: Format

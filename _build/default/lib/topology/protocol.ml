@@ -1,0 +1,48 @@
+type t =
+  | Simple
+  | LL
+  | LL128
+  | Sccl
+
+let all = [ Simple; LL; LL128; Sccl ]
+
+let name = function
+  | Simple -> "Simple"
+  | LL -> "LL"
+  | LL128 -> "LL128"
+  | Sccl -> "SCCL"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "simple" -> Some Simple
+  | "ll" -> Some LL
+  | "ll128" -> Some LL128
+  | "sccl" -> Some Sccl
+  | _ -> None
+
+let efficiency = function
+  | Simple | Sccl -> 1.0
+  | LL -> 0.5
+  | LL128 -> 120.0 /. 128.0
+
+let alpha_scale = function
+  | Simple -> 1.0
+  | LL -> 0.18
+  | LL128 -> 0.42
+  | Sccl -> 0.6
+
+let slot_bytes = function
+  | Simple -> 512 * 1024
+  | LL -> 32 * 1024
+  | LL128 -> 120 * 1024
+  | Sccl -> 1024 * 1024
+
+let num_slots = function
+  | Simple | LL | LL128 -> 8
+  | Sccl -> 2
+
+let receiver_copies = function
+  | Simple | LL | LL128 -> true
+  | Sccl -> false
+
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,63 @@
+(** Communication protocols of the MSCCLang runtime (paper §6.1).
+
+    NCCL implements three protocols that trade off latency and bandwidth:
+
+    - [Simple] has the highest bandwidth and the highest latency: every slot
+      hand-off requires memory fences and flag synchronization, but the full
+      wire bandwidth carries payload.
+    - [LL] (low latency) piggybacks a 4-byte flag on every 4 bytes of data,
+      avoiding fences entirely. Latency is lowest; only half the wire
+      bandwidth carries payload.
+    - [LL128] transmits 120 payload bytes per 128-byte line, giving 93.75 %
+      efficiency with latency between the other two.
+
+    The protocol also defines the size of the intermediate FIFO buffer and
+    the number of slots it is divided into; chunks larger than a slot are
+    split into tiles by the interpreter's pipelining loop (paper §6.2). *)
+
+type t =
+  | Simple
+  | LL
+  | LL128
+  | Sccl
+      (** SCCL's direct-copy protocol (paper §7.5): the sender writes
+          straight into the destination buffer, so the receiver performs no
+          copy out of an intermediate FIFO — full bandwidth efficiency and a
+          smaller memory footprint than [Simple], at the cost of a
+          rendezvous handshake (higher α than [LL]) and a single outstanding
+          transfer per connection. The paper notes this protocol "can also
+          be implemented in MSCCLang Simple protocols" as future work; this
+          implementation provides it. *)
+
+val all : t list
+(** All protocols, in [Simple; LL; LL128; Sccl] order. *)
+
+val name : t -> string
+(** Display name, e.g. ["LL128"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!name}, case-insensitive. *)
+
+val efficiency : t -> float
+(** Fraction of raw link bandwidth available for payload: 1.0 for [Simple]
+    and [Sccl], 0.5 for [LL], 0.9375 (= 120/128) for [LL128]. *)
+
+val alpha_scale : t -> float
+(** Multiplier applied to a link's base (Simple) per-message setup latency.
+    [LL] avoids fences so its scale is the smallest. *)
+
+val slot_bytes : t -> int
+(** Size in bytes of one FIFO slot of the intermediate buffer. Transfers
+    larger than this are tiled (paper §6.1: 512 KB ≤ b ≤ 5 MB overall buffer
+    divided into slots, exact values defined by the protocol). *)
+
+val num_slots : t -> int
+(** Number of FIFO slots [s] per connection (1 ≤ s ≤ 8): how many sends may
+    complete before any receive drains the buffer. *)
+
+val receiver_copies : t -> bool
+(** Whether the receiving thread block copies data out of an intermediate
+    FIFO slot (true for the NCCL protocols, false for [Sccl]'s direct
+    copy). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,111 @@
+type resource = {
+  rid : int;
+  rname : string;
+  capacity : float;
+}
+
+type route = {
+  hops : int list;
+  base_alpha : float;
+  tb_cap : float;
+  kind : Link.kind;
+}
+
+type t = {
+  name : string;
+  num_nodes : int;
+  gpus_per_node : int;
+  resources : resource array;
+  routes : route option array array;
+  sm_count : int;
+  local_bandwidth : float;
+  reduce_gamma : float;
+  launch_overhead : float;
+  per_tb_launch : float;
+  instr_overhead : float;
+}
+
+let validate t =
+  let r = t.num_nodes * t.gpus_per_node in
+  if r <= 0 then invalid_arg "Topology.create: no ranks";
+  if Array.length t.routes <> r then invalid_arg "Topology.create: routes rows";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> r then invalid_arg "Topology.create: routes cols";
+      Array.iteri
+        (fun j cell ->
+          match cell with
+          | None ->
+              if i <> j then
+                invalid_arg
+                  (Printf.sprintf "Topology.create: missing route %d->%d" i j)
+          | Some rt ->
+              if i = j then
+                invalid_arg "Topology.create: route on the diagonal";
+              if rt.tb_cap <= 0. then
+                invalid_arg "Topology.create: nonpositive tb_cap";
+              List.iter
+                (fun h ->
+                  if h < 0 || h >= Array.length t.resources then
+                    invalid_arg "Topology.create: resource id out of range")
+                rt.hops)
+        row)
+    t.routes;
+  Array.iteri
+    (fun i res ->
+      if res.rid <> i then invalid_arg "Topology.create: resource id mismatch";
+      if res.capacity <= 0. then
+        invalid_arg "Topology.create: nonpositive capacity")
+    t.resources
+
+let create ~name ~num_nodes ~gpus_per_node ~resources ~routes ~sm_count
+    ~local_bandwidth ~reduce_gamma ~launch_overhead ~per_tb_launch
+    ~instr_overhead =
+  if sm_count <= 0 then invalid_arg "Topology.create: nonpositive sm_count";
+  let t =
+    {
+      name;
+      num_nodes;
+      gpus_per_node;
+      resources;
+      routes;
+      sm_count;
+      local_bandwidth;
+      reduce_gamma;
+      launch_overhead;
+      per_tb_launch;
+      instr_overhead;
+    }
+  in
+  validate t;
+  t
+
+let name t = t.name
+let num_nodes t = t.num_nodes
+let gpus_per_node t = t.gpus_per_node
+let num_ranks t = t.num_nodes * t.gpus_per_node
+let node_of t rank = rank / t.gpus_per_node
+let gpu_of t rank = rank mod t.gpus_per_node
+let rank_of t ~node ~gpu = (node * t.gpus_per_node) + gpu
+let same_node t a b = node_of t a = node_of t b
+let resources t = t.resources
+
+let route t ~src ~dst =
+  let r = num_ranks t in
+  if src < 0 || src >= r || dst < 0 || dst >= r then
+    invalid_arg "Topology.route: rank out of range";
+  if src = dst then invalid_arg "Topology.route: src = dst";
+  match t.routes.(src).(dst) with
+  | Some rt -> rt
+  | None -> invalid_arg "Topology.route: missing route"
+
+let sm_count t = t.sm_count
+let local_bandwidth t = t.local_bandwidth
+let reduce_gamma t = t.reduce_gamma
+let launch_overhead t = t.launch_overhead
+let per_tb_launch t = t.per_tb_launch
+let instr_overhead t = t.instr_overhead
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d node(s) x %d GPU(s), %d resources" t.name
+    t.num_nodes t.gpus_per_node (Array.length t.resources)

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Collective Compile Fusion List Msccl_algorithms Msccl_core Msccl_harness Msccl_topology QCheck Random Simulator Testutil Verify

@@ -1,0 +1,1 @@
+test/test_analysis_timeline.ml: Alcotest Analysis Filename Format Fun Instances Ir List Msccl_algorithms Msccl_core Msccl_topology Simulator String Sys Testutil Timeline

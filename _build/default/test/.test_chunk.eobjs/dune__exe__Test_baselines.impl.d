@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Instances List Msccl_algorithms Msccl_baselines Msccl_core Msccl_topology Simulator Testutil

@@ -1,0 +1,1 @@
+test/test_chunk.ml: Alcotest Chunk List Msccl_core QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_collective.ml: Alcotest Chunk Collective Format List Msccl_core Option Testutil

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Array Buffer_id Chunk Collective Compile Executor Instr Ir Loc Msccl_algorithms Msccl_core Msccl_topology Program String Testutil Verify

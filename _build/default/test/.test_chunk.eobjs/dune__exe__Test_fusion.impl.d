@@ -1,0 +1,1 @@
+test/test_fusion.ml: Alcotest Buffer_id Collective Compile Fusion Instr Instr_dag List Msccl_algorithms Msccl_core Program Testutil

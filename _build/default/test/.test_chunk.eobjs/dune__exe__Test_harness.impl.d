@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Format List Msccl_baselines Msccl_harness Msccl_topology String Testutil

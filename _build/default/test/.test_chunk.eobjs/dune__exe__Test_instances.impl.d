@@ -1,0 +1,1 @@
+test/test_instances.ml: Alcotest Array Collective Instances Ir List Msccl_algorithms Msccl_core Printf Testutil

@@ -1,0 +1,1 @@
+test/test_ir_xml.ml: Alcotest Array Buffer_id Collective Filename Fun Instr Ir List Loc Msccl_algorithms Msccl_core Msccl_topology Sys Testutil Xml

@@ -1,0 +1,1 @@
+test/test_loc.ml: Alcotest Buffer_id Format List Loc Msccl_core Option QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Array Buffer_id Collective Fusion Instr Instr_dag List Loc Msccl_core Option Program Testutil

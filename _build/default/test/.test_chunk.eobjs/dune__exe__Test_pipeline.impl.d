@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Buffer_id Collective Compile Executor Fun Fusion Instances Ir List Msccl_core Program Verify

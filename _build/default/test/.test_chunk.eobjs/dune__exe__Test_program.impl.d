@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Buffer_id Chunk_dag Collective Msccl_core Program Testutil

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Buffer_id Chunk Collective Compile Executor Fusion Hashtbl Instances Instr_dag Ir List Msccl_core Option Program QCheck Random Schedule Testutil Verify Xml

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Buffer_id Collective Compile Executor Fusion Instr_dag Ir List Msccl_algorithms Msccl_core Msccl_topology Program Schedule Testutil Verify

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Buffer_id Collective Compile Instances Msccl_algorithms Msccl_core Msccl_topology Program Simulator Testutil

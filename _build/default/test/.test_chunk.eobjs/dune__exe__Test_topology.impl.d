@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Fun List Msccl_harness Msccl_topology Printf Testutil

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Buffer_id Chunk Collective Compile Format List Msccl_algorithms Msccl_core Program String Testutil Verify

@@ -1,0 +1,217 @@
+(* Integration tests: every algorithm compiles, verifies (symbolically)
+   and computes correct numeric results across shapes, protocols and
+   parallelization factors. *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+module H = Msccl_harness
+module Q = QCheck
+
+let full name ir =
+  Testutil.tc name (fun () ->
+      Testutil.check_verified name ir;
+      Testutil.check_numeric name ir)
+
+let test_registry_all () =
+  (* 2x4 = 8 ranks: a shape every algorithm supports (the recursive
+     algorithms need a power of two). *)
+  List.iter
+    (fun spec ->
+      let p =
+        {
+          H.Registry.default_params with
+          H.Registry.nodes = 2;
+          gpus_per_node = 4;
+          chunk_factor = 2;
+        }
+      in
+      let ir = spec.H.Registry.build p in
+      Testutil.check_verified spec.H.Registry.name ir)
+    H.Registry.all
+
+let test_simulable_on_matching_topology () =
+  (* Every registry algorithm must run on the simulator without deadlock. *)
+  let topo = T.Presets.hierarchical ~nodes:2 ~gpus_per_node:4 () in
+  List.iter
+    (fun spec ->
+      let p =
+        {
+          H.Registry.default_params with
+          H.Registry.nodes = 2;
+          gpus_per_node = 4;
+          verify = false;
+        }
+      in
+      let ir = spec.H.Registry.build p in
+      let r =
+        Simulator.run_buffer ~topo ~buffer_bytes:1048576.
+          ~check_occupancy:false ir
+      in
+      if r.Simulator.time <= 0. then
+        Alcotest.failf "%s: nonpositive time" spec.H.Registry.name)
+    H.Registry.all
+
+(* Random small shapes: the hierarchical family must verify for any
+   (nodes, gpus) in range and any instance count. *)
+let prop_hierarchical_shapes =
+  Testutil.qtest ~count:12 "hierarchical verifies on random shapes"
+    Q.(triple (int_range 2 3) (int_range 2 4) (int_range 1 3))
+    (fun (nodes, gpus, r) ->
+      let ir =
+        A.Hierarchical_allreduce.ir ~instances:r ~nodes ~gpus_per_node:gpus ()
+      in
+      Verify.check ir = Ok ())
+
+let prop_two_step_shapes =
+  Testutil.qtest ~count:10 "two-step verifies on random shapes"
+    Q.(pair (int_range 2 4) (int_range 2 4))
+    (fun (nodes, gpus) ->
+      let ir = A.Two_step_alltoall.ir ~nodes ~gpus_per_node:gpus () in
+      Verify.check ir = Ok ())
+
+let prop_ring_channels =
+  Testutil.qtest ~count:10 "ring verifies for any channel count"
+    Q.(pair (int_range 2 8) (int_range 1 4))
+    (fun (ranks, channels) ->
+      let ir = A.Ring_allreduce.ir ~channels ~num_ranks:ranks () in
+      Verify.check ir = Ok ())
+
+let prop_alltonext_shapes =
+  Testutil.qtest ~count:10 "alltonext verifies on random shapes"
+    Q.(pair (int_range 2 3) (int_range 2 4))
+    (fun (nodes, gpus) ->
+      let ir = A.Alltonext.ir ~nodes ~gpus_per_node:gpus () in
+      Verify.check ir = Ok ())
+
+let test_fusion_productive () =
+  (* The classic single-channel ring must fuse nearly every hop. *)
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks:6 ~chunk_factor:6
+      ~inplace:true ()
+  in
+  let report =
+    Compile.compile coll (A.Ring_allreduce.program ~num_ranks:6 ~channels:1)
+  in
+  Alcotest.(check bool) "fused > third of instrs" true
+    (3 * Fusion.total report.Compile.fusion > report.Compile.instrs_before_fusion / 2);
+  Alcotest.(check bool) "rrs used" true (report.Compile.fusion.Fusion.rrs > 0)
+
+let test_synthesis () =
+  (* Fully connected: one round. DGX-1: two rounds (SCCL's step count).
+     Ring: N-1 rounds. All must verify. *)
+  let rounds sched = List.length sched.A.Synthesis.rounds in
+  let full =
+    A.Synthesis.plan ~num_ranks:8 ~connected:(fun a b -> a <> b) ()
+  in
+  Alcotest.(check int) "fully connected: 1 round" 1 (rounds full);
+  let dgx1 =
+    A.Synthesis.plan ~num_ranks:8 ~connected:T.Presets.dgx1_connected
+      ~link_count:T.Presets.dgx1_nvlink_count ()
+  in
+  Alcotest.(check int) "dgx1: 2 rounds" 2 (rounds dgx1);
+  let ring =
+    A.Synthesis.plan ~num_ranks:6 ~connected:(fun a b -> b = (a + 1) mod 6) ()
+  in
+  Alcotest.(check int) "6-ring: 5 rounds" 5 (rounds ring);
+  Testutil.check_verified "synth dgx1"
+    (A.Synthesis.allgather ~num_ranks:8 ~connected:T.Presets.dgx1_connected
+       ~link_count:T.Presets.dgx1_nvlink_count ());
+  Testutil.check_numeric "synth ring numeric"
+    (A.Synthesis.allgather ~num_ranks:5
+       ~connected:(fun a b -> b = (a + 1) mod 5)
+       ());
+  (* Disconnected graphs fail cleanly. *)
+  match
+    A.Synthesis.plan ~num_ranks:4 ~connected:(fun a b -> a / 2 = b / 2) ()
+  with
+  | exception A.Synthesis.Synthesis_failure _ -> ()
+  | _ -> Alcotest.fail "disconnected topology accepted"
+
+let prop_synthesis_random_graphs =
+  Testutil.qtest ~count:15 "synthesis verifies on random connected graphs"
+    Q.(pair (int_range 3 8) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      (* Random graph: ring edges (connectivity) plus random chords. *)
+      let extra = Array.init (n * n) (fun _ -> Random.State.bool rng) in
+      let connected a b =
+        a <> b && (b = (a + 1) mod n || extra.(((a * n) + b) mod (n * n)))
+      in
+      let ir = A.Synthesis.allgather ~verify:false ~num_ranks:n ~connected () in
+      Verify.check ir = Ok ())
+
+let test_multi_ring_nic_rotation () =
+  (* NCCL-style rotated rings must exit each node through distinct GPUs. *)
+  let ir =
+    A.Ring_allreduce.ir_multi
+      ~rings:
+        (Array.init 4 (fun k ->
+             List.concat_map
+               (fun node -> List.init 8 (fun i -> (node * 8) + ((i + k) mod 8)))
+               [ 0; 1 ]))
+      ()
+  in
+  Testutil.check_verified "rotated multi-ring" ir
+
+let () =
+  Alcotest.run "algorithms"
+    [
+      ( "verified+numeric",
+        [
+          full "ring 7 ranks" (A.Ring_allreduce.ir ~num_ranks:7 ());
+          full "ring ch3 r2"
+            (A.Ring_allreduce.ir ~channels:3 ~instances:2 ~num_ranks:6 ());
+          full "allpairs 5 ranks" (A.Allpairs_allreduce.ir ~num_ranks:5 ());
+          full "hierarchical 3x3"
+            (A.Hierarchical_allreduce.ir ~nodes:3 ~gpus_per_node:3 ());
+          full "hierarchical intra_parallel 2"
+            (A.Hierarchical_allreduce.ir ~intra_parallel:2 ~nodes:4
+               ~gpus_per_node:2 ());
+          full "two-step 3x3"
+            (A.Two_step_alltoall.ir ~nodes:3 ~gpus_per_node:3 ());
+          full "two-step unaggregated"
+            (A.Two_step_alltoall.ir ~aggregate:false ~nodes:3 ~gpus_per_node:3
+               ());
+          full "naive alltoall" (A.Alltoall_naive.ir ~num_ranks:6 ());
+          full "alltonext 2x4 r2"
+            (A.Alltonext.ir ~instances:2 ~nodes:2 ~gpus_per_node:4 ());
+          full "sccl allgather LL"
+            (A.Allgather_sccl.ir ~proto:T.Protocol.LL ());
+          full "broadcast root 3"
+            (A.Broadcast_ring.ir ~num_ranks:5 ~root:3 ~chunk_factor:2 ());
+          full "tree 9 ranks"
+            (A.Tree_allreduce.ir ~num_ranks:9 ~chunk_factor:2 ~channels:2 ());
+          full "allgather ring ch2"
+            (A.Allgather_ring.ir ~channels:2 ~chunk_factor:2 ~num_ranks:5 ());
+          full "reducescatter ring"
+            (A.Reduce_scatter_ring.ir ~chunk_factor:3 ~num_ranks:4 ());
+          full "halving-doubling 8"
+            (A.Halving_doubling.ir ~verify:false ~num_ranks:8 ());
+          full "recursive-doubling 16"
+            (A.Recursive_doubling.ir ~verify:false ~num_ranks:16 ());
+          full "double binary tree 7x2"
+            (A.Double_binary_tree.ir ~verify:false ~chunks_per_tree:2
+               ~num_ranks:7 ());
+          full "hierarchical allgather 3x3"
+            (A.Hierarchical_allgather.ir ~verify:false ~nodes:3
+               ~gpus_per_node:3 ());
+        ] );
+      ( "registry",
+        [
+          Testutil.tc "all entries verify" test_registry_all;
+          Testutil.tc "all entries simulate" test_simulable_on_matching_topology;
+        ] );
+      ( "properties",
+        [
+          prop_hierarchical_shapes; prop_two_step_shapes; prop_ring_channels;
+          prop_alltonext_shapes;
+        ] );
+      ( "structure",
+        [
+          Testutil.tc "fusion productive" test_fusion_productive;
+          Testutil.tc "multi-ring rotation" test_multi_ring_nic_rotation;
+          Testutil.tc "synthesis" test_synthesis;
+          prop_synthesis_random_graphs;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+(* Chunk algebra unit and property tests (paper §3.1). *)
+
+open Msccl_core
+module Q = QCheck
+
+let input r i = Chunk.input ~rank:r ~index:i
+
+let test_input_identity () =
+  Alcotest.(check bool) "distinct inputs differ" false
+    (Chunk.equal (input 0 0) (input 0 1));
+  Alcotest.(check bool) "same input equal" true
+    (Chunk.equal (input 2 3) (input 2 3));
+  Alcotest.(check (option (list (pair int int)))) "inputs of input"
+    (Some [ (2, 3) ])
+    (Chunk.inputs (input 2 3))
+
+let test_uninit () =
+  Alcotest.(check bool) "uninit is uninit" true (Chunk.is_uninit Chunk.uninit);
+  Alcotest.(check bool) "input is not uninit" false
+    (Chunk.is_uninit (input 0 0));
+  Alcotest.check_raises "reduce with uninit raises" Chunk.Uninitialized_data
+    (fun () -> ignore (Chunk.reduce Chunk.uninit (input 0 0)));
+  Alcotest.(check (option (list (pair int int)))) "inputs of uninit" None
+    (Chunk.inputs Chunk.uninit)
+
+let test_multiset () =
+  (* Reducing the same input twice is double counting, not idempotent. *)
+  let once = input 0 0 in
+  let twice = Chunk.reduce once once in
+  Alcotest.(check bool) "double-count differs" false (Chunk.equal once twice);
+  Alcotest.(check (option (list (pair int int)))) "multiset kept"
+    (Some [ (0, 0); (0, 0) ])
+    (Chunk.inputs twice)
+
+let test_allreduce_expected () =
+  let e = Chunk.allreduce_expected ~num_ranks:3 ~index:7 in
+  let built =
+    Chunk.reduce (Chunk.reduce (input 0 7) (input 1 7)) (input 2 7)
+  in
+  Alcotest.(check bool) "expected equals built" true (Chunk.equal e built)
+
+let test_reduce_many () =
+  let parts = [ input 0 0; input 1 0; input 2 0 ] in
+  Alcotest.(check bool) "reduce_many = folds" true
+    (Chunk.equal (Chunk.reduce_many parts)
+       (Chunk.allreduce_expected ~num_ranks:3 ~index:0));
+  Alcotest.check_raises "empty reduce_many"
+    (Invalid_argument "Chunk.reduce_many: empty list") (fun () ->
+      ignore (Chunk.reduce_many []))
+
+(* Random chunk values: a reduction of 1-6 random inputs. *)
+let gen_chunk =
+  Q.Gen.(
+    let gen_input = map2 (fun r i -> input (r mod 5) (i mod 5)) nat nat in
+    map Chunk.reduce_many (list_size (int_range 1 6) gen_input))
+
+let arb_chunk = Q.make gen_chunk ~print:Chunk.to_string
+
+let prop_commutative =
+  Testutil.qtest "reduce commutative" (Q.pair arb_chunk arb_chunk)
+    (fun (a, b) -> Chunk.equal (Chunk.reduce a b) (Chunk.reduce b a))
+
+let prop_associative =
+  Testutil.qtest "reduce associative"
+    (Q.triple arb_chunk arb_chunk arb_chunk)
+    (fun (a, b, c) ->
+      Chunk.equal
+        (Chunk.reduce a (Chunk.reduce b c))
+        (Chunk.reduce (Chunk.reduce a b) c))
+
+let prop_compare_consistent =
+  Testutil.qtest "compare/equal/hash consistent" (Q.pair arb_chunk arb_chunk)
+    (fun (a, b) ->
+      let eq = Chunk.equal a b in
+      (Chunk.compare a b = 0) = eq
+      && if eq then Chunk.hash a = Chunk.hash b else true)
+
+let prop_inputs_sorted =
+  Testutil.qtest "inputs stay sorted" (Q.pair arb_chunk arb_chunk)
+    (fun (a, b) ->
+      match Chunk.inputs (Chunk.reduce a b) with
+      | None -> false
+      | Some ids -> List.sort compare ids = ids)
+
+let () =
+  Alcotest.run "chunk"
+    [
+      ( "unit",
+        [
+          Testutil.tc "input identity" test_input_identity;
+          Testutil.tc "uninit" test_uninit;
+          Testutil.tc "multiset semantics" test_multiset;
+          Testutil.tc "allreduce expected" test_allreduce_expected;
+          Testutil.tc "reduce_many" test_reduce_many;
+        ] );
+      ( "properties",
+        [
+          prop_commutative; prop_associative; prop_compare_consistent;
+          prop_inputs_sorted;
+        ] );
+    ]

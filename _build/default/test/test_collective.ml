@@ -1,0 +1,189 @@
+(* Collective pre/postcondition tests (paper §3.2). *)
+
+open Msccl_core
+
+let mk ?(ranks = 4) ?(c = 2) ?(inplace = false) kind =
+  Collective.make kind ~num_ranks:ranks ~chunk_factor:c ~inplace ()
+
+let chunk_opt = Alcotest.testable
+    (fun fmt -> function
+      | None -> Format.pp_print_string fmt "None"
+      | Some c -> Chunk.pp fmt c)
+    (Option.equal Chunk.equal)
+
+let post t ~rank ~index = Collective.postcondition t ~rank ~index
+
+let test_allreduce () =
+  let t = mk Collective.Allreduce in
+  Alcotest.(check int) "in" 2 (Collective.input_chunks t);
+  Alcotest.(check int) "out" 2 (Collective.output_chunks t);
+  Alcotest.check chunk_opt "post"
+    (Some (Chunk.allreduce_expected ~num_ranks:4 ~index:1))
+    (post t ~rank:3 ~index:1)
+
+let test_allgather () =
+  let t = mk Collective.Allgather in
+  Alcotest.(check int) "out" 8 (Collective.output_chunks t);
+  Alcotest.check chunk_opt "post = source chunk"
+    (Some (Chunk.input ~rank:2 ~index:1))
+    (post t ~rank:0 ~index:5)
+
+let test_reduce_scatter () =
+  let t = mk Collective.Reduce_scatter in
+  Alcotest.(check int) "in" 8 (Collective.input_chunks t);
+  Alcotest.(check int) "out" 2 (Collective.output_chunks t);
+  Alcotest.check chunk_opt "rank 1 gets segment 1"
+    (Some
+       (Chunk.reduce_many
+          (List.init 4 (fun q -> Chunk.input ~rank:q ~index:3))))
+    (post t ~rank:1 ~index:1)
+
+let test_alltoall () =
+  let t = mk Collective.Alltoall in
+  (* out[j*C + i] on rank r = input chunk (r*C + i) of rank j *)
+  Alcotest.check chunk_opt "transpose"
+    (Some (Chunk.input ~rank:2 ~index:((1 * 2) + 1)))
+    (post t ~rank:1 ~index:((2 * 2) + 1))
+
+let test_alltonext () =
+  let t = mk Collective.Alltonext in
+  Alcotest.check chunk_opt "rank 0 unconstrained" None (post t ~rank:0 ~index:0);
+  Alcotest.check chunk_opt "rank 2 gets rank 1's data"
+    (Some (Chunk.input ~rank:1 ~index:1))
+    (post t ~rank:2 ~index:1)
+
+let test_rooted () =
+  let b = mk (Collective.Broadcast 1) in
+  Alcotest.check chunk_opt "broadcast source"
+    (Some (Chunk.input ~rank:1 ~index:0))
+    (post b ~rank:3 ~index:0);
+  let r = mk (Collective.Reduce 2) in
+  Alcotest.check chunk_opt "reduce non-root unconstrained" None
+    (post r ~rank:0 ~index:0);
+  Alcotest.(check bool) "reduce root sum" true
+    (post r ~rank:2 ~index:0
+    = Some (Chunk.allreduce_expected ~num_ranks:4 ~index:0));
+  let g = mk (Collective.Gather 0) in
+  Alcotest.check chunk_opt "gather at root"
+    (Some (Chunk.input ~rank:3 ~index:1))
+    (post g ~rank:0 ~index:7);
+  Alcotest.check chunk_opt "gather elsewhere" None (post g ~rank:1 ~index:7);
+  let s = mk (Collective.Scatter 0) in
+  Alcotest.check chunk_opt "scatter"
+    (Some (Chunk.input ~rank:0 ~index:((3 * 2) + 1)))
+    (post s ~rank:3 ~index:1)
+
+let test_inplace_allreduce () =
+  let t = mk ~inplace:true Collective.Allreduce in
+  Alcotest.(check int) "shared buffer" 2 (Collective.input_buffer_size t);
+  Alcotest.(check bool) "pre is own input" true
+    (Chunk.equal
+       (Collective.precondition t ~rank:1 ~index:0)
+       (Chunk.input ~rank:1 ~index:0))
+
+let test_inplace_allgather () =
+  let t = mk ~inplace:true Collective.Allgather in
+  Alcotest.(check int) "buffer is R*C wide" 8 (Collective.input_buffer_size t);
+  (* Own data sits at its final position; the rest starts uninitialized. *)
+  Alcotest.(check bool) "own slot" true
+    (Chunk.equal
+       (Collective.precondition t ~rank:1 ~index:3)
+       (Chunk.input ~rank:1 ~index:1));
+  Alcotest.(check bool) "foreign slot uninit" true
+    (Chunk.is_uninit (Collective.precondition t ~rank:1 ~index:0))
+
+let test_inplace_reduce_scatter () =
+  let t = mk ~inplace:true Collective.Reduce_scatter in
+  Alcotest.(check int) "buffer stays R*C" 8 (Collective.output_buffer_size t);
+  Alcotest.check chunk_opt "own segment constrained"
+    (Some
+       (Chunk.reduce_many
+          (List.init 4 (fun q -> Chunk.input ~rank:q ~index:2))))
+    (post t ~rank:1 ~index:2);
+  Alcotest.check chunk_opt "other segments free" None (post t ~rank:1 ~index:0)
+
+let test_custom () =
+  let t =
+    Collective.make
+      (Collective.Custom
+         {
+           Collective.custom_name = "swap";
+           input_chunks = 1;
+           output_chunks = 1;
+           expected =
+             (fun ~rank ~index:_ ->
+               Some (Chunk.input ~rank:(1 - rank) ~index:0));
+           initial = None;
+         })
+      ~num_ranks:2 ()
+  in
+  Alcotest.(check string) "name" "swap" (Collective.name t);
+  Alcotest.check chunk_opt "custom post"
+    (Some (Chunk.input ~rank:1 ~index:0))
+    (post t ~rank:0 ~index:0)
+
+let test_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "zero ranks" (fun () ->
+      Collective.make Collective.Allreduce ~num_ranks:0 ());
+  expect_invalid "zero chunks" (fun () ->
+      Collective.make Collective.Allreduce ~num_ranks:2 ~chunk_factor:0 ());
+  expect_invalid "root out of range" (fun () ->
+      Collective.make (Collective.Broadcast 5) ~num_ranks:4 ());
+  expect_invalid "custom with chunk factor" (fun () ->
+      Collective.make
+        (Collective.Custom
+           {
+             Collective.custom_name = "x";
+             input_chunks = 1;
+             output_chunks = 1;
+             expected = (fun ~rank:_ ~index:_ -> None);
+             initial = None;
+           })
+        ~num_ranks:2 ~chunk_factor:2 ())
+
+let test_names () =
+  List.iter
+    (fun (kind, name) ->
+      Alcotest.(check string) name name (Collective.name (mk kind));
+      match Collective.kind_of_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "kind_of_name %s" name)
+    [
+      (Collective.Allreduce, "allreduce");
+      (Collective.Allgather, "allgather");
+      (Collective.Reduce_scatter, "reducescatter");
+      (Collective.Alltoall, "alltoall");
+      (Collective.Alltonext, "alltonext");
+      (Collective.Broadcast 0, "broadcast");
+    ]
+
+let () =
+  Alcotest.run "collective"
+    [
+      ( "postconditions",
+        [
+          Testutil.tc "allreduce" test_allreduce;
+          Testutil.tc "allgather" test_allgather;
+          Testutil.tc "reduce_scatter" test_reduce_scatter;
+          Testutil.tc "alltoall" test_alltoall;
+          Testutil.tc "alltonext" test_alltonext;
+          Testutil.tc "rooted collectives" test_rooted;
+        ] );
+      ( "inplace",
+        [
+          Testutil.tc "allreduce" test_inplace_allreduce;
+          Testutil.tc "allgather" test_inplace_allgather;
+          Testutil.tc "reduce_scatter" test_inplace_reduce_scatter;
+        ] );
+      ( "misc",
+        [
+          Testutil.tc "custom" test_custom;
+          Testutil.tc "validation" test_validation;
+          Testutil.tc "names" test_names;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Instruction fusion tests (paper §4.3): rcs, rrcs, rrs rewrites. *)
+
+open Msccl_core
+
+let coll ?(ranks = 4) ?(c = 2) ?(inplace = false) () =
+  Collective.make Collective.Allreduce ~num_ranks:ranks ~chunk_factor:c
+    ~inplace ()
+
+let lower ?coll:(c = coll ()) f =
+  Instr_dag.of_chunk_dag (Program.trace c f)
+
+let ops dag = List.map (fun (i : Instr.t) -> i.Instr.op) (Instr_dag.live dag)
+
+(* recv + forward = rcs *)
+let forwarding_chain p =
+  let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+  let c = Program.copy c ~rank:1 Buffer_id.Scratch ~index:0 () in
+  ignore (Program.copy c ~rank:2 Buffer_id.Scratch ~index:0 ())
+
+let test_rcs () =
+  let dag = lower forwarding_chain in
+  let n = Fusion.fuse_rcs dag in
+  Alcotest.(check int) "one rcs" 1 n;
+  Alcotest.(check (list bool)) "send, rcs, recv"
+    [ true; true; true ]
+    (List.map2 ( = ) (ops dag)
+       [ Instr.Send; Instr.Recv_copy_send; Instr.Recv ]);
+  Instr_dag.validate dag
+
+(* rrc + forward = rrcs; result still read locally so no rrs *)
+let test_rrcs_kept () =
+  let dag =
+    lower (fun p ->
+        let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        let own = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+        let red = Program.reduce own c () in
+        (* forward the reduction... *)
+        ignore (Program.copy red ~rank:2 Buffer_id.Scratch ~index:0 ());
+        (* ...and also read it locally afterwards *)
+        let again = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+        ignore (Program.copy again ~rank:1 Buffer_id.Scratch ~index:0 ()))
+  in
+  let stats = Fusion.fuse dag in
+  Alcotest.(check int) "one rrcs" 1 stats.Fusion.rrcs;
+  Alcotest.(check int) "no rrs (result is read)" 0 stats.Fusion.rrs;
+  Instr_dag.validate dag
+
+(* In a ring ReduceScatter middle hop, the rrcs result is never used
+   locally again... except by the final AllGather overwrite, so it becomes
+   an rrs. *)
+let test_rrs_in_ring () =
+  let c = coll ~ranks:4 ~c:4 ~inplace:true () in
+  let dag =
+    lower ~coll:c (fun p ->
+        Msccl_algorithms.Patterns.ring_reduce_scatter p
+          ~ranks:[ 0; 1; 2; 3 ] ~offset:0 ~count:1 ();
+        Msccl_algorithms.Patterns.ring_all_gather p ~ranks:[ 0; 1; 2; 3 ]
+          ~offset:0 ~count:1 ())
+  in
+  let stats = Fusion.fuse dag in
+  Alcotest.(check bool) "rrs fired" true (stats.Fusion.rrs > 0);
+  Alcotest.(check bool) "rcs fired" true (stats.Fusion.rcs > 0);
+  Instr_dag.validate dag
+
+let test_no_fusion_across_channels () =
+  let dag =
+    lower (fun p ->
+        let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        let c = Program.copy c ~rank:1 Buffer_id.Scratch ~index:0 ~ch:0 () in
+        ignore (Program.copy c ~rank:2 Buffer_id.Scratch ~index:0 ~ch:1 ()))
+  in
+  Alcotest.(check int) "different channels do not fuse" 0 (Fusion.fuse_rcs dag)
+
+let test_longest_path_send_chosen () =
+  (* Two sends depend on one receive; the one with further downstream work
+     must be the fused one. *)
+  let dag =
+    lower (fun p ->
+        let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        let c = Program.copy c ~rank:1 Buffer_id.Scratch ~index:0 () in
+        (* short branch *)
+        ignore (Program.copy c ~rank:3 Buffer_id.Scratch ~index:0 ());
+        (* long branch: 2 -> onward to 3's other slot *)
+        let d = Program.copy c ~rank:2 Buffer_id.Scratch ~index:0 () in
+        ignore (Program.copy d ~rank:3 Buffer_id.Scratch ~index:1 ()))
+  in
+  let n = Fusion.fuse_rcs dag in
+  Alcotest.(check bool) "fused once here" true (n >= 1);
+  (* The fused instruction at rank 1 must send to rank 2 (the long branch),
+     leaving a plain send to rank 3. *)
+  let fused =
+    List.find
+      (fun (i : Instr.t) -> i.Instr.op = Instr.Recv_copy_send)
+      (Instr_dag.live dag)
+  in
+  Alcotest.(check (option int)) "long branch fused" (Some 2)
+    fused.Instr.send_peer;
+  Instr_dag.validate dag
+
+(* Fusion must never change program semantics. *)
+let semantics_preserved name build =
+  Testutil.tc name (fun () ->
+      let mk fuse = (Compile.compile_dag ~fuse ~verify:false build).Compile.ir in
+      let unfused = mk false and fused = mk true in
+      Alcotest.(check bool) "same symbolic result" true
+        (Testutil.symbolic_states_equal unfused fused))
+
+let ring_dag =
+  Program.trace
+    (coll ~ranks:4 ~c:4 ~inplace:true ())
+    (fun p ->
+      Msccl_algorithms.Patterns.ring_reduce_scatter p ~ranks:[ 0; 1; 2; 3 ]
+        ~offset:0 ~count:1 ();
+      Msccl_algorithms.Patterns.ring_all_gather p ~ranks:[ 0; 1; 2; 3 ]
+        ~offset:0 ~count:1 ())
+
+let broadcast_dag =
+  Program.trace
+    (Collective.make (Collective.Broadcast 0) ~num_ranks:5 ~chunk_factor:2 ())
+    (Msccl_algorithms.Broadcast_ring.program ~num_ranks:5 ~root:0
+       ~chunk_factor:2 ~channels:1)
+
+let () =
+  Alcotest.run "fusion"
+    [
+      ( "rewrites",
+        [
+          Testutil.tc "rcs" test_rcs;
+          Testutil.tc "rrcs kept when read" test_rrcs_kept;
+          Testutil.tc "rrs in ring" test_rrs_in_ring;
+          Testutil.tc "channel mismatch blocks fusion"
+            test_no_fusion_across_channels;
+          Testutil.tc "longest path send chosen" test_longest_path_send_chosen;
+        ] );
+      ( "semantics",
+        [
+          semantics_preserved "ring allreduce" ring_dag;
+          semantics_preserved "broadcast chain" broadcast_dag;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Harness tests: sweeps, report tables, the tuner's selection tables and
+   the registry. *)
+
+module T = Msccl_topology
+module B = Msccl_baselines
+module H = Msccl_harness
+
+let test_sweep () =
+  Alcotest.(check (list (float 0.)))
+    "powers of two"
+    [ 1024.; 2048.; 4096. ]
+    (H.Sweep.sizes ~from:1024. ~upto:4096.);
+  Alcotest.(check int) "coarse halves the points" 2
+    (List.length (H.Sweep.sizes_coarse ~from:1024. ~upto:4096.));
+  Alcotest.(check string) "1KB" "1KB" (H.Sweep.pretty 1024.);
+  Alcotest.(check string) "4MB" "4MB" (H.Sweep.pretty (H.Sweep.mib 4.));
+  Alcotest.(check string) "2GB" "2GB" (H.Sweep.pretty (H.Sweep.gib 2.));
+  Alcotest.(check string) "512KB" "512KB" (H.Sweep.pretty (H.Sweep.kib 512.));
+  Alcotest.(check string) "odd bytes" "1000B" (H.Sweep.pretty 1000.)
+
+let test_report () =
+  let fig =
+    {
+      H.Report.fig_id = "t";
+      title = "test";
+      ylabel = "y";
+      sizes = [ 1024.; 2048. ];
+      series =
+        [
+          H.Report.speedup_series ~label:"a" ~baseline:[ 2.; 2. ] [ 1.; 4. ];
+        ];
+    }
+  in
+  let s = List.hd fig.H.Report.series in
+  Alcotest.(check (list (float 1e-9))) "speedups" [ 2.; 0.5 ] s.H.Report.values;
+  let v, at = H.Report.peak s ~sizes:fig.H.Report.sizes in
+  Alcotest.(check (float 1e-9)) "peak value" 2. v;
+  Alcotest.(check (float 1e-9)) "peak size" 1024. at;
+  let rendered = Format.asprintf "%a" H.Report.print fig in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0);
+  Alcotest.(check bool) "summary mentions peak" true
+    (String.length (H.Report.summarize fig) > 0)
+
+let test_tuner_table () =
+  let topo = T.Presets.ndv4 ~nodes:1 in
+  let table =
+    H.Tuner.tune ~topo
+      ~nccl:(B.Nccl_model.allreduce topo)
+      ~candidates:(H.Tuner.allreduce_candidates topo)
+      ~sizes:[ 4096.; 65536.; 1048576.; 67108864. ]
+      ()
+  in
+  (* Ranges are contiguous and cover the grid. *)
+  let entries = table.H.Tuner.t_entries in
+  Alcotest.(check bool) "nonempty" true (entries <> []);
+  Alcotest.(check (float 0.)) "starts at grid start" 4096.
+    (List.hd entries).H.Tuner.lo;
+  List.iter
+    (fun (e : H.Tuner.entry) ->
+      Alcotest.(check bool) "lo <= hi" true (e.H.Tuner.lo <= e.H.Tuner.hi);
+      Alcotest.(check bool) "speedup >= 1 (NCCL fallback floor)" true
+        (e.H.Tuner.speedup >= 0.999))
+    entries;
+  (* Small sizes must not fall back to NCCL (All Pairs wins there),
+     and selection is consistent with the table. *)
+  let small_choice = H.Tuner.select table ~buffer_bytes:4096. in
+  Alcotest.(check bool) "small size won by an MSCCLang algorithm" true
+    (small_choice <> "NCCL");
+  Alcotest.(check string) "select matches entry" small_choice
+    (List.hd entries).H.Tuner.choice
+
+let test_registry_consistency () =
+  let names = H.Registry.names () in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool)
+        (spec.H.Registry.name ^ " has doc")
+        true
+        (String.length spec.H.Registry.doc > 0))
+    H.Registry.all;
+  Alcotest.(check bool) "find works" true
+    (H.Registry.find "ring-allreduce" <> None);
+  Alcotest.(check bool) "find unknown" true (H.Registry.find "nope" = None)
+
+let test_e2e_structure () =
+  (* Only the cheap workload (the full run takes minutes). *)
+  let rows = [ List.hd (H.E2e.run_inference_only ()) ] in
+  List.iter
+    (fun (r : H.E2e.row) ->
+      Alcotest.(check bool) "positive times" true
+        (r.H.E2e.nccl_time > 0. && r.H.E2e.msccl_time > 0.);
+      Alcotest.(check (float 1e-9)) "speedup consistent"
+        (r.H.E2e.nccl_time /. r.H.E2e.msccl_time)
+        r.H.E2e.speedup;
+      Alcotest.(check bool) "MSCCLang never loses (NCCL fallback)" true
+        (r.H.E2e.speedup >= 0.999))
+    rows
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "plumbing",
+        [
+          Testutil.tc "sweep" test_sweep;
+          Testutil.tc "report" test_report;
+          Testutil.tc "registry" test_registry_consistency;
+        ] );
+      ( "tuner",
+        [
+          Testutil.tc "selection table" test_tuner_table;
+          Testutil.tc "e2e structure" test_e2e_structure;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* Whole-program replication tests (the figures' r parameter). *)
+
+open Msccl_core
+module A = Msccl_algorithms
+
+let ring () = A.Ring_allreduce.ir ~num_ranks:4 ()
+
+let test_blocked_counts () =
+  let base = ring () in
+  let r4 = Instances.blocked base ~instances:4 in
+  Alcotest.(check int) "tbs x4" (4 * Ir.num_thread_blocks base)
+    (Ir.num_thread_blocks r4);
+  Alcotest.(check int) "steps x4" (4 * Ir.num_steps base) (Ir.num_steps r4);
+  Alcotest.(check int) "channels x4" (4 * Ir.num_channels base)
+    (Ir.num_channels r4);
+  Alcotest.(check int) "buffers x4"
+    (4 * base.Ir.gpus.(0).Ir.input_chunks)
+    r4.Ir.gpus.(0).Ir.input_chunks
+
+let test_blocked_verifies () =
+  List.iter
+    (fun r ->
+      Testutil.check_verified
+        (Printf.sprintf "blocked r=%d" r)
+        (Instances.blocked (ring ()) ~instances:r))
+    [ 1; 2; 3; 8 ]
+
+let test_blocked_keeps_aggregation () =
+  (* The Two-Step AllToAll's IB sends aggregate G chunks; replication must
+     keep them aggregated (count preserved). *)
+  let base = A.Two_step_alltoall.ir ~nodes:2 ~gpus_per_node:3 () in
+  let max_count ir =
+    let m = ref 0 in
+    Ir.iter_steps ir (fun _ _ st -> if st.Ir.count > !m then m := st.Ir.count);
+    !m
+  in
+  let r2 = Instances.blocked base ~instances:2 in
+  Alcotest.(check int) "aggregation preserved" (max_count base) (max_count r2);
+  Testutil.check_verified "two-step blocked x2" r2
+
+let test_interleaved_verifies () =
+  let r3 = Instances.interleaved (ring ()) ~instances:3 in
+  Testutil.check_verified "interleaved x3" r3;
+  (* Interleaved keeps the same built-in collective, just finer. *)
+  Alcotest.(check string) "still an allreduce" "allreduce"
+    (Collective.name r3.Ir.collective)
+
+let test_interleaved_rejects_aggregated () =
+  let base = A.Two_step_alltoall.ir ~nodes:2 ~gpus_per_node:3 () in
+  match Instances.interleaved base ~instances:2 with
+  | exception Instances.Replication_error _ -> ()
+  | _ -> Alcotest.fail "aggregated interleaving accepted"
+
+let test_numeric_after_replication () =
+  Testutil.check_numeric "blocked numeric"
+    (Instances.blocked (ring ()) ~instances:2);
+  Testutil.check_numeric "interleaved numeric"
+    (Instances.interleaved (ring ()) ~instances:2)
+
+let test_identity_and_errors () =
+  let base = ring () in
+  Alcotest.(check bool) "r=1 is identity" true
+    (Instances.blocked base ~instances:1 == base);
+  (match Instances.blocked base ~instances:0 with
+  | exception Instances.Replication_error _ -> ()
+  | _ -> Alcotest.fail "r=0 accepted");
+  (* custom collectives cannot interleave *)
+  let custom = Instances.blocked base ~instances:2 in
+  match Instances.interleaved custom ~instances:2 with
+  | exception Instances.Replication_error _ -> ()
+  | _ -> Alcotest.fail "interleaving a custom collective accepted"
+
+let test_inplace_replication () =
+  let hier = A.Hierarchical_allreduce.ir ~nodes:2 ~gpus_per_node:2 () in
+  Testutil.check_verified "hierarchical blocked x2"
+    (Instances.blocked hier ~instances:2);
+  Testutil.check_numeric "hierarchical blocked numeric"
+    (Instances.blocked hier ~instances:2)
+
+let () =
+  Alcotest.run "instances"
+    [
+      ( "blocked",
+        [
+          Testutil.tc "counts" test_blocked_counts;
+          Testutil.tc "verifies" test_blocked_verifies;
+          Testutil.tc "keeps aggregation" test_blocked_keeps_aggregation;
+          Testutil.tc "inplace programs" test_inplace_replication;
+        ] );
+      ( "interleaved",
+        [
+          Testutil.tc "verifies" test_interleaved_verifies;
+          Testutil.tc "rejects aggregated" test_interleaved_rejects_aggregated;
+        ] );
+      ( "misc",
+        [
+          Testutil.tc "numeric" test_numeric_after_replication;
+          Testutil.tc "identity and errors" test_identity_and_errors;
+        ] );
+    ]

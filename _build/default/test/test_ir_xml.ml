@@ -1,0 +1,166 @@
+(* MSCCL-IR structure and XML serialization tests. *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+let roundtrip name ir =
+  Testutil.tc name (fun () ->
+      let s = Xml.to_string ir in
+      let back = Xml.of_string s in
+      Alcotest.(check bool) "round-trips" true (Testutil.ir_equal ir back);
+      (* and printing again yields the same document *)
+      Alcotest.(check string) "stable print" s (Xml.to_string back))
+
+let test_parse_tree () =
+  let t =
+    Xml.parse_tree
+      "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a x=\"1\" y=\"a&amp;b\">\n  \
+       <b/> <c z=\"&quot;q&quot;\"></c>\n</a>"
+  in
+  Alcotest.(check string) "tag" "a" t.Xml.tag;
+  Alcotest.(check (list (pair string string)))
+    "attrs"
+    [ ("x", "1"); ("y", "a&b") ]
+    t.Xml.attrs;
+  Alcotest.(check int) "children" 2 (List.length t.Xml.children);
+  Alcotest.(check (option string)) "escaped attr" (Some "\"q\"")
+    (List.assoc_opt "z" (List.nth t.Xml.children 1).Xml.attrs)
+
+let test_parse_errors () =
+  let bad s =
+    match Xml.parse_tree s with
+    | exception Xml.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" s
+  in
+  bad "<a>";
+  bad "<a></b>";
+  bad "<a x=1/>";
+  bad "no element"
+
+let test_validate_rejects () =
+  let ir = A.Ring_allreduce.ir ~num_ranks:4 () in
+  let broken peers =
+    let g = ir.Ir.gpus.(0) in
+    let tb = { g.Ir.tbs.(0) with Ir.send = peers } in
+    {
+      ir with
+      Ir.gpus =
+        Array.mapi
+          (fun i g' ->
+            if i = 0 then { g with Ir.tbs = [| tb |] } else g')
+          ir.Ir.gpus;
+    }
+  in
+  (match Ir.validate (broken 99) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "peer out of range accepted");
+  match Ir.validate (broken 0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "self connection accepted"
+
+let test_validate_connection_exclusivity () =
+  (* Two thread blocks sending on the same connection must be rejected. *)
+  let step op =
+    {
+      Ir.s = 0;
+      op;
+      src = Some (Loc.make ~rank:0 ~buf:Buffer_id.Input ~index:0 ~count:1);
+      dst = None;
+      count = 1;
+      depends = [];
+      has_dep = false;
+    }
+  in
+  let tb id = { Ir.tb_id = id; send = 1; recv = -1; chan = 0;
+                steps = [| step Instr.Send |] } in
+  let recv_tb =
+    {
+      Ir.tb_id = 0;
+      send = -1;
+      recv = 0;
+      chan = 0;
+      steps =
+        [|
+          {
+            Ir.s = 0;
+            op = Instr.Recv;
+            src = None;
+            dst = Some (Loc.make ~rank:1 ~buf:Buffer_id.Output ~index:0 ~count:1);
+            count = 1;
+            depends = [];
+            has_dep = false;
+          };
+          {
+            Ir.s = 1;
+            op = Instr.Recv;
+            src = None;
+            dst = Some (Loc.make ~rank:1 ~buf:Buffer_id.Output ~index:1 ~count:1);
+            count = 1;
+            depends = [];
+            has_dep = false;
+          };
+        |];
+    }
+  in
+  let coll = Collective.make Collective.Allgather ~num_ranks:2 ~chunk_factor:2 () in
+  let ir =
+    {
+      Ir.name = "bad";
+      collective = coll;
+      proto = T.Protocol.Simple;
+      gpus =
+        [|
+          { Ir.gpu_id = 0; input_chunks = 2; output_chunks = 4;
+            scratch_chunks = 0; tbs = [| tb 0; tb 1 |] };
+          { Ir.gpu_id = 1; input_chunks = 2; output_chunks = 4;
+            scratch_chunks = 0; tbs = [| recv_tb |] };
+        |];
+    }
+  in
+  match Ir.validate ir with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate sender accepted"
+
+let test_summary_counts () =
+  let ir = A.Ring_allreduce.ir ~num_ranks:4 () in
+  Alcotest.(check int) "ranks" 4 (Ir.num_ranks ir);
+  Alcotest.(check int) "channels" 1 (Ir.num_channels ir);
+  Alcotest.(check bool) "steps counted" true (Ir.num_steps ir > 0);
+  let ir2 = Ir.with_proto ir T.Protocol.LL in
+  Alcotest.(check bool) "with_proto" true (ir2.Ir.proto = T.Protocol.LL)
+
+let test_file_io () =
+  let ir = A.Alltonext.ir ~nodes:2 ~gpus_per_node:2 () in
+  let path = Filename.temp_file "msccl" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xml.save ir path;
+      let back = Xml.load path in
+      Alcotest.(check bool) "file round-trip" true (Testutil.ir_equal ir back))
+
+let () =
+  Alcotest.run "ir-xml"
+    [
+      ( "xml",
+        [
+          Testutil.tc "parse tree" test_parse_tree;
+          Testutil.tc "parse errors" test_parse_errors;
+          roundtrip "ring allreduce" (A.Ring_allreduce.ir ~num_ranks:4 ());
+          roundtrip "hierarchical"
+            (A.Hierarchical_allreduce.ir ~nodes:2 ~gpus_per_node:3 ());
+          roundtrip "alltonext with instances"
+            (A.Alltonext.ir ~instances:2 ~nodes:2 ~gpus_per_node:3 ());
+          roundtrip "broadcast root 2"
+            (A.Broadcast_ring.ir ~num_ranks:5 ~root:2 ~chunk_factor:2 ());
+          Testutil.tc "file io" test_file_io;
+        ] );
+      ( "validation",
+        [
+          Testutil.tc "rejects bad peers" test_validate_rejects;
+          Testutil.tc "connection exclusivity"
+            test_validate_connection_exclusivity;
+          Testutil.tc "summary counts" test_summary_counts;
+        ] );
+    ]

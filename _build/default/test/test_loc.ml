@@ -1,0 +1,77 @@
+(* Loc and Buffer_id unit tests. *)
+
+open Msccl_core
+module Q = QCheck
+
+let loc ?(rank = 0) ?(buf = Buffer_id.Input) index count =
+  Loc.make ~rank ~buf ~index ~count
+
+let test_overlap () =
+  Alcotest.(check bool) "adjacent do not overlap" false
+    (Loc.overlaps (loc 0 2) (loc 2 2));
+  Alcotest.(check bool) "nested overlap" true
+    (Loc.overlaps (loc 0 4) (loc 1 2));
+  Alcotest.(check bool) "partial overlap" true
+    (Loc.overlaps (loc 0 2) (loc 1 2));
+  Alcotest.(check bool) "different buffers" false
+    (Loc.overlaps (loc 0 4) (loc ~buf:Buffer_id.Scratch 0 4));
+  Alcotest.(check bool) "different ranks" false
+    (Loc.overlaps (loc ~rank:0 0 4) (loc ~rank:1 0 4))
+
+let test_indices () =
+  Alcotest.(check (list int)) "indices" [ 3; 4; 5 ] (Loc.indices (loc 3 3))
+
+let test_equality () =
+  Alcotest.(check bool) "same place different count" true
+    (Loc.same_place (loc 1 2) (loc 1 3));
+  Alcotest.(check bool) "equal needs count" false
+    (Loc.equal (loc 1 2) (loc 1 3))
+
+let test_validation () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Loc.make: negative index") (fun () ->
+      ignore (loc (-1) 1));
+  Alcotest.check_raises "zero count"
+    (Invalid_argument "Loc.make: nonpositive count") (fun () ->
+      ignore (loc 0 0))
+
+let test_buffer_names () =
+  List.iter
+    (fun b ->
+      Alcotest.(check (option bool)) "short round-trip" (Some true)
+        (Option.map (Buffer_id.equal b) (Buffer_id.of_name (Buffer_id.name b)));
+      Alcotest.(check (option bool)) "long round-trip" (Some true)
+        (Option.map (Buffer_id.equal b)
+           (Buffer_id.of_name (Buffer_id.long_name b))))
+    Buffer_id.all;
+  Alcotest.(check bool) "unknown name" true (Buffer_id.of_name "zz" = None)
+
+let arb_loc =
+  Q.make
+    Q.Gen.(
+      map2 (fun i c -> loc (i mod 16) (1 + (c mod 4))) nat nat)
+    ~print:(fun l -> Format.asprintf "%a" Loc.pp l)
+
+let prop_overlap_symmetric =
+  Testutil.qtest "overlap symmetric" (Q.pair arb_loc arb_loc) (fun (a, b) ->
+      Loc.overlaps a b = Loc.overlaps b a)
+
+let prop_overlap_iff_shared_index =
+  Testutil.qtest "overlap iff shared index" (Q.pair arb_loc arb_loc)
+    (fun (a, b) ->
+      Loc.overlaps a b
+      = List.exists (fun i -> List.mem i (Loc.indices b)) (Loc.indices a))
+
+let () =
+  Alcotest.run "loc"
+    [
+      ( "unit",
+        [
+          Testutil.tc "overlap" test_overlap;
+          Testutil.tc "indices" test_indices;
+          Testutil.tc "equality" test_equality;
+          Testutil.tc "validation" test_validation;
+          Testutil.tc "buffer names" test_buffer_names;
+        ] );
+      ("properties", [ prop_overlap_symmetric; prop_overlap_iff_shared_index ]);
+    ]

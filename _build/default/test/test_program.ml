@@ -1,0 +1,150 @@
+(* DSL tracing tests: the safety rules of paper §3.3. *)
+
+open Msccl_core
+
+let coll ?(ranks = 3) ?(c = 2) ?(inplace = false) () =
+  Collective.make Collective.Allreduce ~num_ranks:ranks ~chunk_factor:c
+    ~inplace ()
+
+let expect_trace_error name f =
+  match f () with
+  | exception Program.Trace_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Trace_error" name
+
+let test_basic_trace () =
+  let dag =
+    Program.trace (coll ()) (fun p ->
+        let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        let c = Program.copy c ~rank:1 Buffer_id.Scratch ~index:0 () in
+        let own = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+        ignore (Program.reduce own c ()))
+  in
+  Alcotest.(check int) "two ops traced" 2 (Chunk_dag.num_nodes dag);
+  let n0 = Chunk_dag.node dag 0 and n1 = Chunk_dag.node dag 1 in
+  Alcotest.(check bool) "copy first" true (n0.Chunk_dag.op = Chunk_dag.Copy_op);
+  Alcotest.(check bool) "remote copy" true (Chunk_dag.is_remote n0);
+  Alcotest.(check bool) "local reduce" true (not (Chunk_dag.is_remote n1));
+  Alcotest.(check (list int)) "reduce depends on copy" [ 0 ] n1.Chunk_dag.deps;
+  Alcotest.(check int) "scratch deduced on rank 1" 1
+    dag.Chunk_dag.scratch_sizes.(1);
+  Alcotest.(check int) "no scratch on rank 0" 0 dag.Chunk_dag.scratch_sizes.(0)
+
+let test_stale_reference () =
+  expect_trace_error "stale" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          let old_ref = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+          (* overwrite the location... *)
+          let other = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+          ignore (Program.copy other ~rank:0 Buffer_id.Input ~index:0 ());
+          (* ...then use the stale reference *)
+          ignore (Program.copy old_ref ~rank:2 Buffer_id.Input ~index:0 ())))
+
+let test_uninitialized_read () =
+  expect_trace_error "uninit output" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          ignore (Program.chunk p ~rank:0 Buffer_id.Output ~index:0 ())));
+  expect_trace_error "uninit scratch" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          ignore (Program.chunk p ~rank:0 Buffer_id.Scratch ~index:0 ())))
+
+let test_out_of_range () =
+  expect_trace_error "index past input" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          ignore (Program.chunk p ~rank:0 Buffer_id.Input ~index:2 ())));
+  expect_trace_error "bad rank" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          ignore (Program.chunk p ~rank:7 Buffer_id.Input ~index:0 ())))
+
+let test_overlap_errors () =
+  expect_trace_error "self copy" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+          ignore (Program.copy c ~rank:0 Buffer_id.Input ~index:0 ())));
+  expect_trace_error "overlapping copy" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          let c =
+            Program.chunk p ~rank:0 Buffer_id.Input ~index:0 ~count:2 ()
+          in
+          ignore (Program.copy c ~rank:0 Buffer_id.Scratch ~index:0 ());
+          let s =
+            Program.chunk p ~rank:0 Buffer_id.Scratch ~index:0 ~count:2 ()
+          in
+          (* write scratch 1..2 while reading 0..1 *)
+          ignore (Program.copy s ~rank:0 Buffer_id.Scratch ~index:1 ())));
+  expect_trace_error "reduce with itself" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+          ignore (Program.reduce c c ())))
+
+let test_count_mismatch () =
+  expect_trace_error "reduce count mismatch" (fun () ->
+      Program.trace (coll ()) (fun p ->
+          let a = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 ~count:2 () in
+          let b = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+          ignore (Program.reduce (Program.sub a ~offset:0 ~count:2) b ())))
+
+let test_inplace_aliasing () =
+  (* With an in-place collective, writing Output invalidates Input refs. *)
+  expect_trace_error "output write invalidates input ref" (fun () ->
+      Program.trace (coll ~inplace:true ()) (fun p ->
+          let i = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+          let other = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+          ignore (Program.copy other ~rank:0 Buffer_id.Output ~index:0 ());
+          ignore (Program.copy i ~rank:2 Buffer_id.Input ~index:0 ())));
+  (* And reading Output sees what Input holds. *)
+  let dag =
+    Program.trace (coll ~inplace:true ()) (fun p ->
+        let o = Program.chunk p ~rank:0 Buffer_id.Output ~index:0 () in
+        ignore (Program.copy o ~rank:1 Buffer_id.Scratch ~index:0 ()))
+  in
+  Alcotest.(check int) "aliased read traced" 1 (Chunk_dag.num_nodes dag)
+
+let test_sub () =
+  Program.trace (coll ()) (fun p ->
+      let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 ~count:2 () in
+      let s = Program.sub c ~offset:1 ~count:1 in
+      Alcotest.(check int) "sub index" 1 (Program.index_of s);
+      Alcotest.(check int) "sub count" 1 (Program.count_of s);
+      ignore (Program.copy s ~rank:1 Buffer_id.Scratch ~index:0 ()))
+  |> fun dag -> Alcotest.(check int) "one op" 1 (Chunk_dag.num_nodes dag)
+
+let test_frozen () =
+  let p = Program.create (coll ()) in
+  let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+  ignore (Program.finish p);
+  expect_trace_error "op after finish" (fun () ->
+      Program.copy c ~rank:1 Buffer_id.Scratch ~index:0 ());
+  expect_trace_error "double finish" (fun () -> Program.finish p)
+
+let test_anti_dependency () =
+  (* A write after a read must depend on the read. *)
+  let dag =
+    Program.trace (coll ()) (fun p ->
+        let a = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        ignore (Program.copy a ~rank:1 Buffer_id.Scratch ~index:0 ());  (* reads 0:i[0] *)
+        let b = Program.chunk p ~rank:1 Buffer_id.Input ~index:0 () in
+        ignore (Program.copy b ~rank:0 Buffer_id.Input ~index:0 ()))  (* writes 0:i[0] *)
+  in
+  let n1 = Chunk_dag.node dag 1 in
+  Alcotest.(check (list int)) "WAR edge" [ 0 ] n1.Chunk_dag.deps
+
+let () =
+  Alcotest.run "program"
+    [
+      ( "tracing",
+        [
+          Testutil.tc "basic trace" test_basic_trace;
+          Testutil.tc "sub references" test_sub;
+          Testutil.tc "anti dependency" test_anti_dependency;
+          Testutil.tc "inplace aliasing" test_inplace_aliasing;
+        ] );
+      ( "safety",
+        [
+          Testutil.tc "stale reference" test_stale_reference;
+          Testutil.tc "uninitialized read" test_uninitialized_read;
+          Testutil.tc "out of range" test_out_of_range;
+          Testutil.tc "overlaps" test_overlap_errors;
+          Testutil.tc "count mismatch" test_count_mismatch;
+          Testutil.tc "frozen" test_frozen;
+        ] );
+    ]

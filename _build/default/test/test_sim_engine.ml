@@ -1,0 +1,143 @@
+(* Discrete-event engine and priority queue tests. *)
+
+module E = Msccl_sim.Engine
+module P = Msccl_sim.Pqueue
+module Q = QCheck
+
+let test_pqueue_order () =
+  let q = P.create () in
+  List.iter (fun (p, v) -> P.add q ~priority:p v)
+    [ (3., "c"); (1., "a"); (2., "b"); (1., "a2") ];
+  let drain () =
+    let rec go acc =
+      match P.pop q with None -> List.rev acc | Some (_, v) -> go (v :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted, stable ties"
+    [ "a"; "a2"; "b"; "c" ] (drain ());
+  Alcotest.(check bool) "empty" true (P.is_empty q)
+
+let prop_pqueue_sorts =
+  Testutil.qtest "pqueue sorts any input"
+    Q.(list (pair (float_range 0. 1000.) small_int))
+    (fun entries ->
+      let q = P.create () in
+      List.iter (fun (p, v) -> P.add q ~priority:p v) entries;
+      let rec drain acc =
+        match P.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare (List.map fst entries))
+
+let test_single_flow_timing () =
+  let eng = E.create ~capacities:[| 100. |] in
+  let done_at = ref 0. in
+  E.start_flow eng ~bytes:1000. ~hops:[ 0 ] ~cap:1000. (fun () ->
+      done_at := E.now eng);
+  E.run eng;
+  Alcotest.(check (float 1e-6)) "capacity bound" 10. !done_at
+
+let test_cap_bound () =
+  let eng = E.create ~capacities:[| 1000. |] in
+  let done_at = ref 0. in
+  E.start_flow eng ~bytes:1000. ~hops:[ 0 ] ~cap:10. (fun () ->
+      done_at := E.now eng);
+  E.run eng;
+  Alcotest.(check (float 1e-6)) "per-flow cap" 100. !done_at
+
+let test_fair_sharing () =
+  (* Two identical flows on one resource take twice as long as one. *)
+  let eng = E.create ~capacities:[| 100. |] in
+  let times = ref [] in
+  for _ = 1 to 2 do
+    E.start_flow eng ~bytes:500. ~hops:[ 0 ] ~cap:1000. (fun () ->
+        times := E.now eng :: !times)
+  done;
+  E.run eng;
+  List.iter
+    (fun t -> Alcotest.(check (float 1e-4)) "shared" 10. t)
+    !times
+
+let test_staggered_flows () =
+  (* Flow B starts halfway through flow A: A runs alone (rate 100) for 5s,
+     then both share (50 each). A has 0 left at t=10... A: 1000 bytes: 5s
+     alone = 500, then 500 at 50 = 10s more -> done at 15. B: 500 bytes at
+     50 -> 10s, but after A finishes B gets 100 again. B remaining at t=15:
+     500 - 10*50 = 0 -> B also ~15. *)
+  let eng = E.create ~capacities:[| 100. |] in
+  let a_done = ref 0. and b_done = ref 0. in
+  E.start_flow eng ~bytes:1000. ~hops:[ 0 ] ~cap:1000. (fun () ->
+      a_done := E.now eng);
+  E.after eng 5. (fun () ->
+      E.start_flow eng ~bytes:500. ~hops:[ 0 ] ~cap:1000. (fun () ->
+          b_done := E.now eng));
+  E.run eng;
+  Alcotest.(check (float 1e-3)) "A at 15" 15. !a_done;
+  Alcotest.(check (float 1e-3)) "B at 15" 15. !b_done
+
+let test_multi_hop_bottleneck () =
+  (* A flow crossing a fast and a slow resource is bound by the slow one. *)
+  let eng = E.create ~capacities:[| 1000.; 10. |] in
+  let done_at = ref 0. in
+  E.start_flow eng ~bytes:100. ~hops:[ 0; 1 ] ~cap:1000. (fun () ->
+      done_at := E.now eng);
+  E.run eng;
+  Alcotest.(check (float 1e-6)) "bottleneck" 10. !done_at
+
+let test_callbacks_ordered () =
+  let eng = E.create ~capacities:[| 1. |] in
+  let log = ref [] in
+  E.at eng 2. (fun () -> log := 2 :: !log);
+  E.at eng 1. (fun () -> log := 1 :: !log);
+  E.after eng 3. (fun () -> log := 3 :: !log);
+  E.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_zero_byte_flow () =
+  let eng = E.create ~capacities:[| 1. |] in
+  let fired = ref false in
+  E.start_flow eng ~bytes:0. ~hops:[ 0 ] ~cap:1. (fun () -> fired := true);
+  E.run eng;
+  Alcotest.(check bool) "completes" true !fired;
+  Alcotest.(check int) "no active flows" 0 (E.active_flows eng)
+
+(* Churn test for the lazy rescheduling: N staggered flows on one resource
+   must finish exactly when the fluid model says (total work divided by
+   capacity once saturated). *)
+let prop_churn_conserves_work =
+  Testutil.qtest ~count:30 "fluid model conserves work"
+    Q.(list_of_size (Q.Gen.int_range 1 10) (Q.int_range 1 20))
+    (fun sizes ->
+      let eng = E.create ~capacities:[| 10. |] in
+      let last = ref 0. in
+      List.iteri
+        (fun i bytes ->
+          E.after eng (float_of_int i) (fun () ->
+              E.start_flow eng ~bytes:(float_of_int (bytes * 100)) ~hops:[ 0 ]
+                ~cap:1000. (fun () -> last := E.now eng)))
+        sizes;
+      E.run eng;
+      (* Lower bound: total bytes / capacity. Upper bound: that plus the
+         last injection time. *)
+      let total = float_of_int (100 * List.fold_left ( + ) 0 sizes) in
+      let lo = total /. 10. in
+      let hi = lo +. float_of_int (List.length sizes) +. 1e-6 in
+      !last >= lo -. 1e-4 && !last <= hi)
+
+let () =
+  Alcotest.run "sim-engine"
+    [
+      ("pqueue", [ Testutil.tc "order" test_pqueue_order; prop_pqueue_sorts ]);
+      ( "flows",
+        [
+          Testutil.tc "single flow" test_single_flow_timing;
+          Testutil.tc "per-flow cap" test_cap_bound;
+          Testutil.tc "fair sharing" test_fair_sharing;
+          Testutil.tc "staggered" test_staggered_flows;
+          Testutil.tc "multi-hop" test_multi_hop_bottleneck;
+          Testutil.tc "zero bytes" test_zero_byte_flow;
+          prop_churn_conserves_work;
+        ] );
+      ("callbacks", [ Testutil.tc "ordering" test_callbacks_ordered ]);
+    ]

@@ -1,0 +1,136 @@
+(* Timing simulator tests: protocol behavior, contention, occupancy,
+   determinism (paper §6's runtime model). *)
+
+open Msccl_core
+module T = Msccl_topology
+module A = Msccl_algorithms
+
+let topo1 = T.Presets.ndv4 ~nodes:1
+
+let time ?max_tiles ?(topo = topo1) ir bytes =
+  (Simulator.run_buffer ~topo ~buffer_bytes:bytes ?max_tiles
+     ~check_occupancy:false ir)
+    .Simulator.time
+
+let ring proto = A.Ring_allreduce.ir ~proto ~num_ranks:8 ()
+
+let test_monotone_in_size () =
+  let ir = ring T.Protocol.Simple in
+  let rec go prev = function
+    | [] -> ()
+    | s :: rest ->
+        let t = time ir s in
+        Alcotest.(check bool) "monotone" true (t >= prev);
+        go t rest
+  in
+  go 0. [ 1024.; 65536.; 1048576.; 16777216. ]
+
+let test_protocol_tradeoff () =
+  (* LL wins tiny buffers (lower alpha), Simple wins huge ones (full
+     bandwidth) — the §6.1 protocol tradeoff. *)
+  let ll = ring T.Protocol.LL and simple = ring T.Protocol.Simple in
+  Alcotest.(check bool) "LL faster at 8KB" true (time ll 8192. < time simple 8192.);
+  Alcotest.(check bool) "Simple faster at 256MB" true
+    (time simple 268435456. < time ll 268435456.)
+
+let test_parallelization_helps_large () =
+  (* One thread block cannot saturate NVLink (§5.1): more instances win at
+     large sizes, lose at small ones. *)
+  let r1 = ring T.Protocol.Simple in
+  let r8 = Instances.blocked r1 ~instances:8 in
+  Alcotest.(check bool) "r8 faster at 256MB" true
+    (time r8 268435456. < time r1 268435456.);
+  Alcotest.(check bool) "r1 faster at 4KB" true (time r1 4096. < time r8 4096.)
+
+let test_launch_overhead_visible () =
+  let ir = ring T.Protocol.LL in
+  let r = Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1024. ir in
+  Alcotest.(check bool) "kernel_time < time" true
+    (r.Simulator.kernel_time < r.Simulator.time);
+  Alcotest.(check bool) "time includes launch" true
+    (r.Simulator.time >= T.Topology.launch_overhead topo1)
+
+let test_occupancy_check () =
+  let big = Instances.blocked (ring T.Protocol.Simple) ~instances:200 in
+  match Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1048576. big with
+  | exception Simulator.Sim_error _ -> ()
+  | _ -> Alcotest.fail "200 TBs per GPU accepted on 108 SMs"
+
+let test_rank_mismatch () =
+  let ir = A.Ring_allreduce.ir ~num_ranks:4 () in
+  match Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1024. ir with
+  | exception Simulator.Sim_error _ -> ()
+  | _ -> Alcotest.fail "4-rank IR on 8-GPU topology accepted"
+
+let test_deterministic () =
+  let ir = A.Hierarchical_allreduce.ir ~nodes:2 ~gpus_per_node:8 () in
+  let topo = T.Presets.ndv4 ~nodes:2 in
+  let t1 = time ~topo ir 4194304. and t2 = time ~topo ir 4194304. in
+  Alcotest.(check (float 0.)) "bit-identical" t1 t2
+
+let test_tiles_cap () =
+  let ir = ring T.Protocol.Simple in
+  let r =
+    Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1073741824. ~max_tiles:2 ir
+  in
+  Alcotest.(check int) "respects max_tiles" 2 r.Simulator.tiles;
+  let r1 =
+    Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1024. ~max_tiles:8 ir
+  in
+  Alcotest.(check int) "small buffers need one tile" 1 r1.Simulator.tiles
+
+let test_wire_bytes_accounting () =
+  (* A ring moves 2*(R-1)/R of the buffer per GPU; with LL the wire volume
+     doubles. *)
+  let bytes = 8388608. in
+  let simple = Simulator.run_buffer ~topo:topo1 ~buffer_bytes:bytes (ring T.Protocol.Simple) in
+  let ll = Simulator.run_buffer ~topo:topo1 ~buffer_bytes:bytes (ring T.Protocol.LL) in
+  let expected = 8. *. bytes *. (2. *. 7. /. 8.) in
+  Alcotest.(check bool) "simple wire volume" true
+    (abs_float (simple.Simulator.wire_bytes -. expected) /. expected < 0.01);
+  Alcotest.(check bool) "LL doubles wire bytes" true
+    (abs_float ((ll.Simulator.wire_bytes /. simple.Simulator.wire_bytes) -. 2.)
+    < 0.01)
+
+let test_ib_serialization () =
+  (* Two nodes: cross-node sends on one connection serialize on the NIC
+     proxy, so doubling the message count roughly doubles the time at
+     bandwidth-bound sizes. *)
+  let topo = T.Presets.hierarchical ~nodes:2 ~gpus_per_node:1 () in
+  let coll cf = Collective.make Collective.Alltonext ~num_ranks:2 ~chunk_factor:cf () in
+  let one =
+    Compile.ir ~verify:false (coll 1) (fun p ->
+        let c = Program.chunk p ~rank:0 Buffer_id.Input ~index:0 () in
+        ignore (Program.copy c ~rank:1 Buffer_id.Output ~index:0 ()))
+  in
+  let t1 = time ~topo ~max_tiles:1 one 33554432. in
+  let t_half = time ~topo ~max_tiles:1 one 16777216. in
+  Alcotest.(check bool) "bandwidth bound" true (t1 > 1.7 *. t_half)
+
+let test_algbw () =
+  let r = Simulator.run_buffer ~topo:topo1 ~buffer_bytes:1048576. (ring T.Protocol.Simple) in
+  Alcotest.(check (float 1e-6)) "algbw definition"
+    (1048576. /. r.Simulator.time)
+    (Simulator.algbw ~buffer_bytes:1048576. r)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "model",
+        [
+          Testutil.tc "monotone in size" test_monotone_in_size;
+          Testutil.tc "protocol tradeoff" test_protocol_tradeoff;
+          Testutil.tc "parallelization" test_parallelization_helps_large;
+          Testutil.tc "launch overhead" test_launch_overhead_visible;
+          Testutil.tc "wire accounting" test_wire_bytes_accounting;
+          Testutil.tc "IB proxy" test_ib_serialization;
+        ] );
+      ( "interface",
+        [
+          Testutil.tc "occupancy" test_occupancy_check;
+          Testutil.tc "rank mismatch" test_rank_mismatch;
+          Testutil.tc "deterministic" test_deterministic;
+          Testutil.tc "tile cap" test_tiles_cap;
+          Testutil.tc "algbw" test_algbw;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Topology and preset tests (paper §7's systems, Fig. 7). *)
+
+module T = Msccl_topology
+module H = Msccl_harness
+
+let test_ndv4_shape () =
+  let t = T.Presets.ndv4 ~nodes:2 in
+  Alcotest.(check int) "ranks" 16 (T.Topology.num_ranks t);
+  Alcotest.(check int) "sms" 108 (T.Topology.sm_count t);
+  Alcotest.(check int) "node of rank 9" 1 (T.Topology.node_of t 9);
+  Alcotest.(check int) "gpu of rank 9" 1 (T.Topology.gpu_of t 9);
+  Alcotest.(check int) "rank of (1,1)" 9 (T.Topology.rank_of t ~node:1 ~gpu:1);
+  Alcotest.(check bool) "same node" true (T.Topology.same_node t 8 15);
+  Alcotest.(check bool) "different nodes" false (T.Topology.same_node t 7 8)
+
+let test_route_kinds () =
+  let t = T.Presets.ndv4 ~nodes:2 in
+  let intra = T.Topology.route t ~src:0 ~dst:1 in
+  let inter = T.Topology.route t ~src:0 ~dst:8 in
+  Alcotest.(check bool) "intra is NVSwitch" true
+    (intra.T.Topology.kind = T.Link.Nvswitch);
+  Alcotest.(check bool) "inter is InfiniBand" true
+    (inter.T.Topology.kind = T.Link.Infiniband);
+  Alcotest.(check bool) "IB slower per thread block" true
+    (inter.T.Topology.tb_cap < intra.T.Topology.tb_cap)
+
+let test_nic_sharing () =
+  (* NDv4: one NIC per GPU. DGX-2: GPU pairs share a NIC (Fig. 7 vs §7). *)
+  let nic_out t src dst = List.hd (T.Topology.route t ~src ~dst).T.Topology.hops in
+  let a100 = T.Presets.ndv4 ~nodes:2 in
+  Alcotest.(check bool) "a100 distinct NICs" true
+    (nic_out a100 0 8 <> nic_out a100 1 9);
+  let v100 = T.Presets.dgx2 ~nodes:2 in
+  Alcotest.(check bool) "dgx2 pair shares NIC" true
+    (nic_out v100 0 16 = nic_out v100 1 17);
+  Alcotest.(check bool) "dgx2 next pair differs" true
+    (nic_out v100 0 16 <> nic_out v100 2 18)
+
+let test_duplex_nics () =
+  (* Outgoing and incoming hops of opposite-direction routes must not share
+     a resource (full duplex). *)
+  let t = T.Presets.ndv4 ~nodes:2 in
+  let out_hops = (T.Topology.route t ~src:0 ~dst:8).T.Topology.hops in
+  let back_hops = (T.Topology.route t ~src:8 ~dst:0).T.Topology.hops in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "no shared duplex resource" false
+        (List.mem h back_hops))
+    out_hops
+
+let test_dgx1_connectivity () =
+  (* Every V100 has exactly 6 NVLink bricks. *)
+  for g = 0 to 7 do
+    let links =
+      List.fold_left
+        (fun acc p -> acc + T.Presets.dgx1_nvlink_count g p)
+        0
+        (List.init 8 Fun.id)
+    in
+    Alcotest.(check int) (Printf.sprintf "gpu %d links" g) 6 links
+  done;
+  Alcotest.(check bool) "0-4 connected" true (T.Presets.dgx1_connected 0 4);
+  Alcotest.(check bool) "0-5 not connected" false (T.Presets.dgx1_connected 0 5);
+  let t = T.Presets.dgx1 () in
+  let direct = T.Topology.route t ~src:0 ~dst:4 in
+  let fallback = T.Topology.route t ~src:0 ~dst:5 in
+  Alcotest.(check bool) "direct is NVLink" true
+    (direct.T.Topology.kind = T.Link.Nvlink);
+  Alcotest.(check bool) "fallback is PCIe" true
+    (fallback.T.Topology.kind = T.Link.Pcie)
+
+let test_route_errors () =
+  let t = T.Presets.ndv4 ~nodes:1 in
+  (match T.Topology.route t ~src:0 ~dst:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self route accepted");
+  match T.Topology.route t ~src:0 ~dst:99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of range accepted"
+
+let test_parse_topology () =
+  let ok s ranks =
+    match H.Registry.parse_topology s with
+    | Ok t -> Alcotest.(check int) s ranks (T.Topology.num_ranks t)
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok "ndv4:2" 16;
+  ok "dgx2:1" 16;
+  ok "dgx1" 8;
+  ok "custom:3:4" 12;
+  List.iter
+    (fun s ->
+      match H.Registry.parse_topology s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" s)
+    [ "ndv4:0"; "ndv4:x"; "nope"; "custom:1"; "dgx2:-1" ]
+
+let test_create_validation () =
+  match
+    T.Topology.create ~name:"bad" ~num_nodes:1 ~gpus_per_node:2
+      ~resources:[||]
+      ~routes:[| [| None; None |]; [| None; None |] |]
+      ~sm_count:4 ~local_bandwidth:1. ~reduce_gamma:1. ~launch_overhead:0.
+      ~per_tb_launch:0. ~instr_overhead:0.
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing route accepted"
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "presets",
+        [
+          Testutil.tc "ndv4 shape" test_ndv4_shape;
+          Testutil.tc "route kinds" test_route_kinds;
+          Testutil.tc "nic sharing" test_nic_sharing;
+          Testutil.tc "duplex NICs" test_duplex_nics;
+          Testutil.tc "dgx1 connectivity" test_dgx1_connectivity;
+        ] );
+      ( "interface",
+        [
+          Testutil.tc "route errors" test_route_errors;
+          Testutil.tc "parse" test_parse_topology;
+          Testutil.tc "validation" test_create_validation;
+        ] );
+    ]
