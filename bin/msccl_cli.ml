@@ -5,6 +5,7 @@
      list        show available algorithms and topologies
      compile     compile an algorithm to MSCCL-IR XML
      verify      check an MSCCL-IR XML file
+     lint        static analysis: races + structural rules
      show        pretty-print an MSCCL-IR XML file
      simulate    run an algorithm or XML file on a simulated cluster
      figures     regenerate the paper's figures *)
@@ -17,6 +18,13 @@ open Msccl_core
 let ok = 0
 
 let user_error = 1
+
+(* lint/verify distinguish what CI needs to distinguish: findings (the IR
+   is wrong) exit 1, while unusable input (parse errors, unknown
+   algorithms) exits 2. *)
+let finding_error = 1
+
+let input_error = 2
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
@@ -145,8 +153,13 @@ let compile_cmd =
     let doc = "Write MSCCL-IR XML here (default: stdout)." in
     Arg.(value & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc)
   in
+  let lint_arg =
+    let doc = "Run the static analysis suite on the compiled IR; error \
+               findings fail the compile." in
+    Arg.(value & flag & info [ "lint" ] ~doc)
+  in
   let run algo nodes gpus channels instances proto chunk_factor no_verify
-      output =
+      lint output =
     let params =
       build_params nodes gpus channels instances proto chunk_factor no_verify
     in
@@ -154,23 +167,28 @@ let compile_cmd =
     | Error msg ->
         prerr_endline msg;
         user_error
-    | Ok ir -> (
-        Printf.eprintf "%s\n" (Ir.summary ir);
-        match output with
-        | None ->
-            print_string (Xml.to_string ir);
-            ok
-        | Some path ->
-            Xml.save ir path;
-            Printf.eprintf "wrote %s\n" path;
-            ok)
+    | Ok ir ->
+        let diagnostics = if lint then Lint.run ir else [] in
+        if diagnostics <> [] then Format.eprintf "%a" Lint.pp diagnostics;
+        if Lint.has_errors diagnostics then finding_error
+        else begin
+          Printf.eprintf "%s\n" (Ir.summary ir);
+          match output with
+          | None ->
+              print_string (Xml.to_string ir);
+              ok
+          | Some path ->
+              Xml.save ir path;
+              Printf.eprintf "wrote %s\n" path;
+              ok
+        end
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile an algorithm to MSCCL-IR XML")
     Term.(
       const run $ algo_arg $ nodes_arg $ gpus_arg $ channels_arg
       $ instances_arg $ proto_arg $ chunk_factor_arg $ no_verify_arg
-      $ output_arg)
+      $ lint_arg $ output_arg)
 
 let xml_file_arg =
   let doc = "MSCCL-IR XML file." in
@@ -181,7 +199,7 @@ let verify_cmd =
     match Xml.load file with
     | exception Xml.Parse_error m ->
         Printf.eprintf "parse error: %s\n" m;
-        user_error
+        input_error
     | ir -> (
         match Verify.check ir with
         | Ok () ->
@@ -189,12 +207,103 @@ let verify_cmd =
               (Ir.summary ir);
             ok
         | Error msg ->
-            Printf.printf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
-            user_error)
+            Printf.eprintf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
+            finding_error)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify an MSCCL-IR XML file")
     Term.(const run $ xml_file_arg)
+
+let lint_cmd =
+  let file_arg =
+    let doc = "MSCCL-IR XML file to lint." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let algo_opt_arg =
+    let doc = "Lint a registered algorithm (compiled in-process) instead of \
+               a file." in
+    Arg.(value & opt (some string) None & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let all_arg =
+    let doc = "Sweep every registered algorithm across the NDv4/DGX-2 \
+               presets and the Simple/LL/LL128 protocols." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let lint_one ~json ir =
+    let ds = Lint.run ir in
+    if json then print_endline (Lint.to_json ds)
+    else Format.printf "%s@.%a" (Ir.summary ir) Lint.pp ds;
+    if Lint.has_errors ds then finding_error else ok
+  in
+  let sweep ~json () =
+    let entries = H.Lint_sweep.run () in
+    if json then begin
+      let one (e : H.Lint_sweep.entry) =
+        let status, diags =
+          match e.H.Lint_sweep.e_outcome with
+          | H.Lint_sweep.Clean _ -> ("clean", "[]")
+          | H.Lint_sweep.Findings ds -> ("errors", Lint.to_json ds)
+          | H.Lint_sweep.Build_failed _ -> ("skipped", "[]")
+        in
+        Printf.sprintf
+          "{\"algo\":\"%s\",\"topology\":\"%s\",\"proto\":\"%s\",\"status\":\"%s\",\"diagnostics\":%s}"
+          e.H.Lint_sweep.e_algo e.H.Lint_sweep.e_config.H.Lint_sweep.c_label
+          (T.Protocol.name e.H.Lint_sweep.e_config.H.Lint_sweep.c_proto)
+          status diags
+      in
+      print_endline ("[" ^ String.concat "," (List.map one entries) ^ "]")
+    end
+    else Format.printf "%a@." H.Lint_sweep.pp entries;
+    List.iter
+      (fun (e : H.Lint_sweep.entry) ->
+        match e.H.Lint_sweep.e_outcome with
+        | H.Lint_sweep.Findings ds ->
+            Format.eprintf "%s on %s (%s):@.%a"
+              e.H.Lint_sweep.e_algo
+              e.H.Lint_sweep.e_config.H.Lint_sweep.c_label
+              (T.Protocol.name e.H.Lint_sweep.e_config.H.Lint_sweep.c_proto)
+              Lint.pp (Lint.errors ds)
+        | H.Lint_sweep.Clean _ | H.Lint_sweep.Build_failed _ -> ())
+      entries;
+    if H.Lint_sweep.clean entries then ok else finding_error
+  in
+  let run file algo all nodes gpus channels instances proto chunk_factor json =
+    match (all, file, algo) with
+    | true, _, _ -> sweep ~json ()
+    | false, Some f, _ -> (
+        match Xml.load f with
+        | exception Xml.Parse_error m ->
+            Printf.eprintf "parse error: %s\n" m;
+            input_error
+        | ir -> lint_one ~json ir)
+    | false, None, Some a -> (
+        let params =
+          build_params nodes gpus channels instances proto chunk_factor true
+        in
+        match build_ir a params with
+        | Error msg ->
+            prerr_endline msg;
+            input_error
+        | Ok ir -> lint_one ~json ir)
+    | false, None, None ->
+        prerr_endline "need an XML file, --algo NAME, or --all";
+        input_error
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of MSCCL-IR: data races between thread blocks \
+          (happens-before + footprint overlap), FIFO deadlocks, dangling \
+          dependencies, out-of-bounds accesses, dead scratch, channel \
+          contention. Exit 1 on error findings, 2 on unusable input.")
+    Term.(
+      const run $ file_arg $ algo_opt_arg $ all_arg $ nodes_arg $ gpus_arg
+      $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
+      $ json_arg)
 
 let show_cmd =
   let stats_arg =
@@ -374,8 +483,8 @@ let main =
   let doc = "MSCCLang: compile, verify and simulate GPU collectives" in
   Cmd.group (Cmd.info "msccl" ~doc)
     [
-      list_cmd; compile_cmd; verify_cmd; show_cmd; simulate_cmd; tune_cmd;
-      figures_cmd;
+      list_cmd; compile_cmd; verify_cmd; lint_cmd; show_cmd; simulate_cmd;
+      tune_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -25,65 +25,7 @@ type t = {
 (* Longest path over the same waiting graph the deadlock checker uses,
    minus the FIFO back-pressure edges (which bound buffering, not data
    flow). *)
-let critical_path_of (ir : Ir.t) =
-  let base = Hashtbl.create 64 in
-  let total = ref 0 in
-  Array.iter
-    (fun (g : Ir.gpu) ->
-      Array.iter
-        (fun (tb : Ir.tb) ->
-          Hashtbl.add base (g.Ir.gpu_id, tb.Ir.tb_id) !total;
-          total := !total + Array.length tb.Ir.steps)
-        g.Ir.tbs)
-    ir.Ir.gpus;
-  let n = !total in
-  let node gpu tb step = Hashtbl.find base (gpu, tb) + step in
-  let adj = Array.make n [] in
-  let edge a b = adj.(a) <- b :: adj.(a) in
-  let sends = Hashtbl.create 32 and recvs = Hashtbl.create 32 in
-  let push tbl key v =
-    Hashtbl.replace tbl key
-      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
-  in
-  Ir.iter_steps ir (fun g tb st ->
-      let me = node g.Ir.gpu_id tb.Ir.tb_id st.Ir.s in
-      if st.Ir.s > 0 then edge (node g.Ir.gpu_id tb.Ir.tb_id (st.Ir.s - 1)) me;
-      List.iter
-        (fun (dtb, dstep) -> edge (node g.Ir.gpu_id dtb dstep) me)
-        st.Ir.depends;
-      if Instr.sends st.Ir.op then
-        push sends (g.Ir.gpu_id, tb.Ir.send, tb.Ir.chan) me;
-      if Instr.receives st.Ir.op then
-        push recvs (tb.Ir.recv, g.Ir.gpu_id, tb.Ir.chan) me);
-  Hashtbl.iter
-    (fun key send_nodes ->
-      let ss = Array.of_list (List.rev send_nodes) in
-      let rs =
-        Array.of_list
-          (List.rev (Option.value ~default:[] (Hashtbl.find_opt recvs key)))
-      in
-      Array.iteri
-        (fun k s -> if k < Array.length rs then edge s rs.(k))
-        ss)
-    sends;
-  (* Longest path via Kahn order. *)
-  let indeg = Array.make n 0 in
-  Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) adj;
-  let q = Queue.create () in
-  Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
-  let dist = Array.make n 1 in
-  let best = ref 0 in
-  while not (Queue.is_empty q) do
-    let i = Queue.pop q in
-    if dist.(i) > !best then best := dist.(i);
-    List.iter
-      (fun b ->
-        if dist.(i) + 1 > dist.(b) then dist.(b) <- dist.(i) + 1;
-        indeg.(b) <- indeg.(b) - 1;
-        if indeg.(b) = 0 then Queue.add b q)
-      adj.(i)
-  done;
-  !best
+let critical_path_of (ir : Ir.t) = Hbgraph.longest_path (Hbgraph.build ir)
 
 let analyze (ir : Ir.t) =
   let conn_tbl = Hashtbl.create 32 in

@@ -3,10 +3,20 @@ type report = {
   instrs_before_fusion : int;
   fusion : Fusion.stats;
   instrs_after_fusion : int;
+  lint : Lint.diagnostic list;
   ir : Ir.t;
 }
 
-let compile_dag ?(fuse = true) ?proto ?(instances = 1) ?(verify = true) dag =
+exception Lint_error of Lint.diagnostic list
+
+let () =
+  Printexc.register_printer (function
+    | Lint_error ds ->
+        Some (Format.asprintf "Compile.Lint_error:@.%a" Lint.pp ds)
+    | _ -> None)
+
+let compile_dag ?(fuse = true) ?proto ?(instances = 1) ?(verify = true)
+    ?(lint = false) dag =
   let idag = Instr_dag.of_chunk_dag dag in
   let before = Instr_dag.num_live idag in
   let fusion =
@@ -16,23 +26,27 @@ let compile_dag ?(fuse = true) ?proto ?(instances = 1) ?(verify = true) dag =
   let ir = Schedule.run ?proto idag in
   let ir = Instances.blocked ir ~instances in
   if verify then Verify.check_exn ir;
+  let diagnostics = if lint then Lint.run ir else [] in
+  if Lint.has_errors diagnostics then raise (Lint_error (Lint.errors diagnostics));
   {
     chunk_ops = Chunk_dag.num_nodes dag;
     instrs_before_fusion = before;
     fusion;
     instrs_after_fusion = after;
+    lint = diagnostics;
     ir;
   }
 
-let compile ?name ?fuse ?proto ?instances ?verify coll f =
+let compile ?name ?fuse ?proto ?instances ?verify ?lint coll f =
   let dag = Program.trace ?name coll f in
-  compile_dag ?fuse ?proto ?instances ?verify dag
+  compile_dag ?fuse ?proto ?instances ?verify ?lint dag
 
-let ir ?name ?fuse ?proto ?instances ?verify coll f =
-  (compile ?name ?fuse ?proto ?instances ?verify coll f).ir
+let ir ?name ?fuse ?proto ?instances ?verify ?lint coll f =
+  (compile ?name ?fuse ?proto ?instances ?verify ?lint coll f).ir
 
 let pp_report fmt r =
   Format.fprintf fmt
     "%s@ chunk ops: %d, instrs: %d -> %d after fusion (%a)" (Ir.summary r.ir)
     r.chunk_ops r.instrs_before_fusion r.instrs_after_fusion Fusion.pp_stats
-    r.fusion
+    r.fusion;
+  if r.lint <> [] then Format.fprintf fmt "@ lint:@ %a" Lint.pp r.lint

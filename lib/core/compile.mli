@@ -2,27 +2,38 @@
 
     DSL program → tracing (Chunk DAG) → lowering (Instruction DAG) →
     instruction fusion → scheduling → MSCCL-IR → optional whole-program
-    replication → verification. *)
+    replication → verification → optional lint. *)
 
 type report = {
   chunk_ops : int;  (** Chunk DAG nodes traced. *)
   instrs_before_fusion : int;
   fusion : Fusion.stats;
   instrs_after_fusion : int;
+  lint : Lint.diagnostic list;
+      (** Diagnostics from {!Lint.run}; empty unless compiled with
+          [~lint:true]. *)
   ir : Ir.t;
 }
+
+exception Lint_error of Lint.diagnostic list
+(** Raised by lint-on-compile when any error-severity diagnostic fires;
+    carries exactly the error diagnostics. *)
 
 val compile_dag :
   ?fuse:bool ->
   ?proto:Msccl_topology.Protocol.t ->
   ?instances:int ->
   ?verify:bool ->
+  ?lint:bool ->
   Chunk_dag.t ->
   report
 (** Lowers, fuses ([fuse] defaults to [true]), schedules, replicates
     ([instances] defaults to 1, blocked layout) and — unless [verify] is
     [false] — checks the result with {!Verify.check} (raising [Failure] on
-    any violation). *)
+    any violation). With [~lint:true] the static analysis suite
+    ({!Lint.run}: race detection plus structural rules) also runs;
+    warnings and infos land in the report's [lint] field while any
+    error-severity finding raises {!Lint_error}. *)
 
 val compile :
   ?name:string ->
@@ -30,6 +41,7 @@ val compile :
   ?proto:Msccl_topology.Protocol.t ->
   ?instances:int ->
   ?verify:bool ->
+  ?lint:bool ->
   Collective.t ->
   (Program.t -> unit) ->
   report
@@ -41,6 +53,7 @@ val ir :
   ?proto:Msccl_topology.Protocol.t ->
   ?instances:int ->
   ?verify:bool ->
+  ?lint:bool ->
   Collective.t ->
   (Program.t -> unit) ->
   Ir.t

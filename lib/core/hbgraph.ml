@@ -1,0 +1,255 @@
+type t = {
+  n : int;
+  base : (int * int, int) Hashtbl.t;  (* (gpu, tb) -> first node id *)
+  coords : (int * int * int) array;
+  adj : int list array;
+  mismatches : (int * int * int * int * int) list;
+  mutable topo : int array option option;  (* memoized topo_order *)
+  mutable closure : Bytes.t array option;
+}
+
+(* Above this many nodes the n^2-bit closure is not worth its memory;
+   reachability queries fall back to DFS. *)
+let closure_limit = 16_384
+
+let num_nodes t = t.n
+
+let node t ~gpu ~tb ~step = Hashtbl.find t.base (gpu, tb) + step
+
+let coords t i = t.coords.(i)
+
+let succs t i = t.adj.(i)
+
+let mismatched_connections t = t.mismatches
+
+let build ?fifo_slots (ir : Ir.t) =
+  let base = Hashtbl.create 64 in
+  let total = ref 0 in
+  Array.iter
+    (fun (g : Ir.gpu) ->
+      Array.iter
+        (fun (tb : Ir.tb) ->
+          Hashtbl.add base (g.Ir.gpu_id, tb.Ir.tb_id) !total;
+          total := !total + Array.length tb.Ir.steps)
+        g.Ir.tbs)
+    ir.Ir.gpus;
+  let n = !total in
+  let coords = Array.make n (0, 0, 0) in
+  let adj = Array.make n [] in
+  let edge a b = if a <> b then adj.(a) <- b :: adj.(a) in
+  let node gpu tb step =
+    match Hashtbl.find_opt base (gpu, tb) with
+    | None -> None
+    | Some b ->
+        let i = b + step in
+        if i < 0 || i >= n then None
+        else (
+          match coords.(i) with
+          | g, t, s when g = gpu && t = tb && s = step -> Some i
+          | _ -> None)
+  in
+  (* Per-connection ordered send and receive node lists. *)
+  let sends = Hashtbl.create 32 and recvs = Hashtbl.create 32 in
+  let push tbl key v =
+    Hashtbl.replace tbl key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  Array.iter
+    (fun (g : Ir.gpu) ->
+      Array.iter
+        (fun (tb : Ir.tb) ->
+          Array.iteri
+            (fun si (st : Ir.step) ->
+              let me = Hashtbl.find base (g.Ir.gpu_id, tb.Ir.tb_id) + si in
+              coords.(me) <- (g.Ir.gpu_id, tb.Ir.tb_id, si);
+              if Instr.sends st.Ir.op then
+                push sends (g.Ir.gpu_id, tb.Ir.send, tb.Ir.chan) me;
+              if Instr.receives st.Ir.op then
+                push recvs (tb.Ir.recv, g.Ir.gpu_id, tb.Ir.chan) me)
+            tb.Ir.steps)
+        g.Ir.tbs)
+    ir.Ir.gpus;
+  (* Program order and explicit depends, now that coords are final so
+     dangling depends targets can be detected and skipped. *)
+  Array.iter
+    (fun (g : Ir.gpu) ->
+      Array.iter
+        (fun (tb : Ir.tb) ->
+          Array.iteri
+            (fun si (st : Ir.step) ->
+              let me = Hashtbl.find base (g.Ir.gpu_id, tb.Ir.tb_id) + si in
+              if si > 0 then edge (me - 1) me;
+              List.iter
+                (fun (dtb, dstep) ->
+                  if dstep >= 0 then
+                    match node g.Ir.gpu_id dtb dstep with
+                    | Some d -> edge d me
+                    | None -> ())
+                st.Ir.depends)
+            tb.Ir.steps)
+        g.Ir.tbs)
+    ir.Ir.gpus;
+  let mismatches = ref [] in
+  Hashtbl.iter
+    (fun key send_nodes ->
+      let ss = Array.of_list (List.rev send_nodes) in
+      let rs =
+        Array.of_list
+          (List.rev (Option.value ~default:[] (Hashtbl.find_opt recvs key)))
+      in
+      let ns = Array.length ss and nr = Array.length rs in
+      if ns <> nr then begin
+        let src, dst, ch = key in
+        mismatches := (src, dst, ch, ns, nr) :: !mismatches
+      end;
+      for k = 0 to min ns nr - 1 do
+        (* Data delivery: k-th send before k-th receive. *)
+        edge ss.(k) rs.(k);
+        (* FIFO back-pressure: send k needs a slot freed by recv k-s. *)
+        match fifo_slots with
+        | Some s when k >= s -> edge rs.(k - s) ss.(k)
+        | Some _ | None -> ()
+      done)
+    sends;
+  Hashtbl.iter
+    (fun key recv_nodes ->
+      if not (Hashtbl.mem sends key) then begin
+        let src, dst, ch = key in
+        mismatches := (src, dst, ch, 0, List.length recv_nodes) :: !mismatches
+      end)
+    recvs;
+  {
+    n;
+    base;
+    coords;
+    adj;
+    mismatches = List.sort compare !mismatches;
+    topo = None;
+    closure = None;
+  }
+
+let compute_topo t =
+  let indeg = Array.make t.n 0 in
+  Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) t.adj;
+  let q = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+  let order = Array.make t.n 0 in
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    order.(!seen) <- i;
+    incr seen;
+    List.iter
+      (fun b ->
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then Queue.add b q)
+      t.adj.(i)
+  done;
+  if !seen = t.n then Some order else None
+
+let topo_order t =
+  match t.topo with
+  | Some cached -> cached
+  | None ->
+      let r = compute_topo t in
+      t.topo <- Some r;
+      r
+
+let cycle_size t =
+  match topo_order t with
+  | Some _ -> 0
+  | None ->
+      (* Re-run Kahn to count the unreached tail. *)
+      let indeg = Array.make t.n 0 in
+      Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) t.adj;
+      let q = Queue.create () in
+      Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+      let seen = ref 0 in
+      while not (Queue.is_empty q) do
+        let i = Queue.pop q in
+        incr seen;
+        List.iter
+          (fun b ->
+            indeg.(b) <- indeg.(b) - 1;
+            if indeg.(b) = 0 then Queue.add b q)
+          t.adj.(i)
+      done;
+      t.n - !seen
+
+let longest_path t =
+  if t.n = 0 then 0
+  else begin
+    let indeg = Array.make t.n 0 in
+    Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) t.adj;
+    let q = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+    let dist = Array.make t.n 1 in
+    let best = ref 0 in
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      if dist.(i) > !best then best := dist.(i);
+      List.iter
+        (fun b ->
+          if dist.(i) + 1 > dist.(b) then dist.(b) <- dist.(i) + 1;
+          indeg.(b) <- indeg.(b) - 1;
+          if indeg.(b) = 0 then Queue.add b q)
+        t.adj.(i)
+    done;
+    !best
+  end
+
+(* Transitive closure as one bitset row per node, filled in reverse
+   topological order: row a = union over successors s of ({s} ∪ row s). *)
+let compute_closure t order =
+  let stride = (t.n + 7) / 8 in
+  let rows = Array.init t.n (fun _ -> Bytes.make stride '\000') in
+  let set_bit row b =
+    let i = b lsr 3 in
+    Bytes.unsafe_set row i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get row i) lor (1 lsl (b land 7))))
+  in
+  let or_into dst src =
+    for i = 0 to stride - 1 do
+      let d = Char.code (Bytes.unsafe_get dst i) in
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s land lnot d <> 0 then Bytes.unsafe_set dst i (Char.unsafe_chr (d lor s))
+    done
+  in
+  for k = t.n - 1 downto 0 do
+    let a = order.(k) in
+    List.iter
+      (fun s ->
+        set_bit rows.(a) s;
+        or_into rows.(a) rows.(s))
+      t.adj.(a)
+  done;
+  rows
+
+let dfs_reaches t a b =
+  let seen = Hashtbl.create 64 in
+  let rec go x =
+    x = b
+    || (not (Hashtbl.mem seen x))
+       && begin
+            Hashtbl.add seen x ();
+            List.exists go t.adj.(x)
+          end
+  in
+  List.exists go t.adj.(a)
+
+let reaches t a b =
+  if t.n > closure_limit then dfs_reaches t a b
+  else
+    match t.closure with
+    | Some rows ->
+        Char.code (Bytes.get rows.(a) (b lsr 3)) land (1 lsl (b land 7)) <> 0
+    | None -> (
+        match topo_order t with
+        | None -> dfs_reaches t a b
+        | Some order ->
+            let rows = compute_closure t order in
+            t.closure <- Some rows;
+            Char.code (Bytes.get rows.(a) (b lsr 3)) land (1 lsl (b land 7))
+            <> 0)
+
+let ordered t a b = reaches t a b || reaches t b a

@@ -1,0 +1,67 @@
+(** The happens-before relation over MSCCL-IR steps.
+
+    One shared construction of the waiting graph that the deadlock checker
+    ({!Verify.check_deadlock_free}), the critical-path analysis
+    ({!Analysis.analyze}) and the race detector ({!Races.find}) all reason
+    over. Nodes are steps, densely numbered over [(gpu, tb, step)]; edges
+    are the orderings the runtime actually enforces:
+
+    - program order within a thread block;
+    - explicit cross-thread-block [depends] (semaphore waits);
+    - send/receive matching: the k-th send on a connection delivers the
+      k-th receive, so it must complete first;
+    - optionally, FIFO back-pressure: with [s] slots, the k-th send on a
+      connection cannot start before the (k-s)-th receive freed a slot.
+
+    Malformed IR is tolerated — out-of-range [depends] targets and
+    unbalanced connections produce no edge (and the imbalance is recorded
+    in {!mismatched_connections}) so lint rules can report them instead of
+    crashing.
+
+    Reachability queries are answered from a transitive closure computed
+    once in topological order (bitset per node), not by per-query DFS;
+    graphs with cycles (or too many nodes for the closure) fall back to
+    DFS. *)
+
+type t
+
+val build : ?fifo_slots:int -> Ir.t -> t
+(** Builds the graph. When [fifo_slots] is given, FIFO back-pressure
+    edges for that slot count are included (use the protocol's
+    {!Msccl_topology.Protocol.num_slots}); when absent they are left out,
+    which is what data-flow analyses (critical path) want. *)
+
+val num_nodes : t -> int
+
+val node : t -> gpu:int -> tb:int -> step:int -> int
+(** Dense node id of a step. Raises [Not_found] for unknown coordinates. *)
+
+val coords : t -> int -> int * int * int
+(** [(gpu, tb, step)] of a node id. *)
+
+val succs : t -> int -> int list
+(** Direct happens-before successors (may contain duplicates). *)
+
+val mismatched_connections : t -> (int * int * int * int * int) list
+(** Connections whose send and receive counts differ, as
+    [(src, dst, chan, sends, receives)], sorted. Matching edges were added
+    only up to the shorter side. *)
+
+val topo_order : t -> int array option
+(** Nodes in a topological order, or [None] when the graph has a cycle. *)
+
+val cycle_size : t -> int
+(** Number of nodes on or downstream of a cycle; [0] iff acyclic. *)
+
+val longest_path : t -> int
+(** Number of nodes on the longest path (1 for a single isolated step,
+    0 for an empty graph). On a cyclic graph, counts only the acyclic
+    prefix reachable by Kahn's algorithm. *)
+
+val reaches : t -> int -> int -> bool
+(** [reaches t a b]: a happens-before path from [a] to [b] exists
+    (irreflexive: [reaches t a a = false] unless [a] is on a cycle). *)
+
+val ordered : t -> int -> int -> bool
+(** [reaches t a b || reaches t b a]: the two steps cannot overlap at
+    runtime. *)

@@ -1,0 +1,80 @@
+(** Diagnostics framework over MSCCL-IR: a fixed set of static rules, each
+    with an id, a severity and a precise location, reported together so
+    compiler bugs (dropped dependencies, bad schedules) surface at compile
+    time instead of as flaky simulation mismatches.
+
+    Unlike {!Ir.validate} and {!Verify.check}, which stop at the first
+    problem and raise, lint never raises on malformed IR: it collects every
+    finding and leaves policy (fail the build, print, ignore warnings) to
+    the caller. Rules:
+
+    - [race] (error): two steps on different thread blocks of one GPU
+      touch overlapping buffer intervals with no happens-before ordering
+      ({!Races.find}).
+    - [fifo-deadlock] (error): the waiting graph including FIFO
+      back-pressure edges has a cycle — the kernel would hang.
+    - [conn-mismatch] (error): a connection's send and receive counts
+      differ, so a message is lost or a receive waits forever.
+    - [dangling-depends] (error): a [depends] entry points at a missing
+      thread block or step, at the step's own thread block, or at a step
+      not marked [has_dep] (the runtime would not post its semaphore).
+    - [oob-access] (error): a step reads or writes past its GPU's declared
+      input/output/scratch sizes.
+    - [dead-scratch] (warning): scratch chunks written but never read —
+      wasted work and usually a sign of a miscomputed index.
+    - [channel-contention] (warning): more thread blocks share one
+      (gpu, channel) than [max_tbs_per_channel] — they serialize on the
+      channel's connection resources.
+    - [unused-scratch] (info): declared scratch chunks never accessed. *)
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+val severity_name : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+type at = {
+  at_gpu : int;
+  at_tb : int;
+  at_step : int;
+}
+(** Location of a finding: a step of a thread block of a GPU. *)
+
+type diagnostic = {
+  d_rule : string;
+  d_severity : severity;
+  d_at : at option;  (** [None] for program-wide findings. *)
+  d_message : string;
+}
+
+type rule = {
+  rule_id : string;
+  rule_doc : string;
+  rule_severity : severity;
+}
+
+val rules : rule list
+(** Every rule lint knows, in documentation order. *)
+
+val run :
+  ?fifo_slots:int -> ?max_tbs_per_channel:int -> Ir.t -> diagnostic list
+(** Runs every rule. [fifo_slots] defaults to the IR protocol's slot
+    count; [max_tbs_per_channel] defaults to 8. Diagnostics are sorted
+    errors-first, then by location and rule. *)
+
+val errors : diagnostic list -> diagnostic list
+
+val has_errors : diagnostic list -> bool
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** One line: [error[race] gpu 0 tb 1 step 2: message]. *)
+
+val pp : Format.formatter -> diagnostic list -> unit
+(** All diagnostics, one per line, plus a summary line. *)
+
+val to_json : diagnostic list -> string
+(** Machine-readable form: a JSON array of objects with [rule],
+    [severity], [gpu]/[tb]/[step] (absent for program-wide findings) and
+    [message] fields. *)

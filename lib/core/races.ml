@@ -1,0 +1,125 @@
+type hazard =
+  | Raw
+  | War
+  | Waw
+
+let hazard_name = function Raw -> "RAW" | War -> "WAR" | Waw -> "WAW"
+
+type race = {
+  r_gpu : int;
+  r_tb1 : int;
+  r_step1 : int;
+  r_tb2 : int;
+  r_step2 : int;
+  r_hazard : hazard;
+  r_buf : Buffer_id.t;
+  r_lo : int;
+  r_hi : int;
+}
+
+let footprint (ir : Ir.t) (st : Ir.step) =
+  let canon (l : Loc.t) =
+    if
+      ir.Ir.collective.Collective.inplace
+      && Buffer_id.equal l.Loc.buf Buffer_id.Output
+    then { l with Loc.buf = Buffer_id.Input }
+    else l
+  in
+  let reads =
+    (if Instr.reads_local st.Ir.op then Option.to_list st.Ir.src else [])
+    @
+    (* Reduce accumulates into dst, so it reads it too. *)
+    match st.Ir.op with
+    | Instr.Reduce -> Option.to_list st.Ir.dst
+    | _ -> []
+  in
+  let writes =
+    if Instr.writes_local st.Ir.op then Option.to_list st.Ir.dst else []
+  in
+  List.map (fun l -> (false, canon l)) reads
+  @ List.map (fun l -> (true, canon l)) writes
+
+let find ?hb (ir : Ir.t) =
+  let hb =
+    match hb with
+    | Some h -> h
+    | None ->
+        Hbgraph.build
+          ~fifo_slots:(Msccl_topology.Protocol.num_slots ir.Ir.proto)
+          ir
+  in
+  let races = ref [] in
+  Array.iter
+    (fun (g : Ir.gpu) ->
+      let accs = ref [] in
+      Array.iter
+        (fun (tb : Ir.tb) ->
+          Array.iter
+            (fun (st : Ir.step) ->
+              let id =
+                Hbgraph.node hb ~gpu:g.Ir.gpu_id ~tb:tb.Ir.tb_id ~step:st.Ir.s
+              in
+              List.iter
+                (fun (w, l) -> accs := (tb.Ir.tb_id, st.Ir.s, id, w, l) :: !accs)
+                (footprint ir st))
+            tb.Ir.steps)
+        g.Ir.tbs;
+      let accs = Array.of_list (List.rev !accs) in
+      let m = Array.length accs in
+      let seen = Hashtbl.create 16 in
+      for i = 0 to m - 1 do
+        let tb1, s1, n1, w1, (l1 : Loc.t) = accs.(i) in
+        for j = i + 1 to m - 1 do
+          let tb2, s2, n2, w2, (l2 : Loc.t) = accs.(j) in
+          if
+            tb1 <> tb2 && (w1 || w2)
+            && Buffer_id.equal l1.Loc.buf l2.Loc.buf
+            && l1.Loc.index < l2.Loc.index + l2.Loc.count
+            && l2.Loc.index < l1.Loc.index + l1.Loc.count
+            && not (Hbgraph.ordered hb n1 n2)
+          then begin
+            let (tb1, s1, w1, l1), (tb2, s2, w2, l2) =
+              if (tb1, s1) <= (tb2, s2) then
+                ((tb1, s1, w1, l1), (tb2, s2, w2, l2))
+              else ((tb2, s2, w2, l2), (tb1, s1, w1, l1))
+            in
+            let hazard =
+              match (w1, w2) with
+              | true, true -> Waw
+              | true, false -> Raw
+              | false, true -> War
+              | false, false -> assert false
+            in
+            let key = (tb1, s1, tb2, s2, hazard, l1.Loc.buf) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              races :=
+                {
+                  r_gpu = g.Ir.gpu_id;
+                  r_tb1 = tb1;
+                  r_step1 = s1;
+                  r_tb2 = tb2;
+                  r_step2 = s2;
+                  r_hazard = hazard;
+                  r_buf = l1.Loc.buf;
+                  r_lo = max l1.Loc.index l2.Loc.index;
+                  r_hi =
+                    min (l1.Loc.index + l1.Loc.count)
+                      (l2.Loc.index + l2.Loc.count)
+                    - 1;
+                }
+                :: !races
+            end
+          end
+        done
+      done)
+    ir.Ir.gpus;
+  List.sort compare !races
+
+let pp_race fmt r =
+  Format.fprintf fmt
+    "gpu %d: %s hazard on %s[%d..%d] between tb %d step %d and tb %d step %d \
+     (no happens-before edge orders them)"
+    r.r_gpu (hazard_name r.r_hazard)
+    (Buffer_id.long_name r.r_buf)
+    r.r_lo r.r_hi r.r_tb1 r.r_step1 r.r_tb2 r.r_step2

@@ -39,98 +39,29 @@ let check_postcondition (ir : Ir.t) =
 (* Static deadlock-freedom                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Global step node ids: dense numbering over (gpu, tb, step). *)
+(* The waiting graph (program order, depends, send/receive matching, FIFO
+   back-pressure) is built by the shared Hbgraph module; deadlock-freedom
+   is its acyclicity. *)
 let check_deadlock_free ?slots (ir : Ir.t) =
   let slots =
     match slots with
     | Some s -> s
     | None -> Msccl_topology.Protocol.num_slots ir.Ir.proto
   in
-  (* Assign node ids. *)
-  let base = Hashtbl.create 64 in
-  let total = ref 0 in
-  Array.iter
-    (fun (g : Ir.gpu) ->
-      Array.iter
-        (fun (tb : Ir.tb) ->
-          Hashtbl.add base (g.Ir.gpu_id, tb.Ir.tb_id) !total;
-          total := !total + Array.length tb.Ir.steps)
-        g.Ir.tbs)
-    ir.Ir.gpus;
-  let n = !total in
-  let node gpu tb step = Hashtbl.find base (gpu, tb) + step in
-  let adj = Array.make n [] in
-  let edge a b = adj.(a) <- b :: adj.(a) in
-  (* Per-connection ordered send and receive node lists. *)
-  let sends = Hashtbl.create 32 and recvs = Hashtbl.create 32 in
-  let push tbl key v =
-    Hashtbl.replace tbl key (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
-  in
-  Array.iter
-    (fun (g : Ir.gpu) ->
-      Array.iter
-        (fun (tb : Ir.tb) ->
-          Array.iteri
-            (fun si (st : Ir.step) ->
-              let me = node g.Ir.gpu_id tb.Ir.tb_id si in
-              if si > 0 then edge (node g.Ir.gpu_id tb.Ir.tb_id (si - 1)) me;
-              List.iter
-                (fun (dtb, dstep) -> edge (node g.Ir.gpu_id dtb dstep) me)
-                st.Ir.depends;
-              if Instr.sends st.Ir.op then
-                push sends (g.Ir.gpu_id, tb.Ir.send, tb.Ir.chan) me;
-              if Instr.receives st.Ir.op then
-                push recvs (tb.Ir.recv, g.Ir.gpu_id, tb.Ir.chan) me)
-            tb.Ir.steps)
-        g.Ir.tbs)
-    ir.Ir.gpus;
-  let fifo_problem = ref None in
-  Hashtbl.iter
-    (fun key send_nodes ->
-      let send_nodes = Array.of_list (List.rev send_nodes) in
-      let recv_nodes =
-        Array.of_list (List.rev (Option.value ~default:[] (Hashtbl.find_opt recvs key)))
-      in
-      if Array.length send_nodes <> Array.length recv_nodes then begin
-        let s, d, c = key in
-        fifo_problem :=
-          Some
-            (Printf.sprintf "connection %d->%d ch%d: %d sends vs %d receives"
-               s d c (Array.length send_nodes) (Array.length recv_nodes))
-      end
-      else
-        Array.iteri
-          (fun k s ->
-            (* Data delivery: k-th send before k-th receive. *)
-            edge s recv_nodes.(k);
-            (* FIFO back-pressure: send k needs slot freed by recv k-s. *)
-            if k >= slots then edge recv_nodes.(k - slots) s)
-          send_nodes)
-    sends;
-  match !fifo_problem with
-  | Some msg -> Error msg
-  | None ->
-      (* Kahn's algorithm. *)
-      let indeg = Array.make n 0 in
-      Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) adj;
-      let q = Queue.create () in
-      Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
-      let seen = ref 0 in
-      while not (Queue.is_empty q) do
-        let i = Queue.pop q in
-        incr seen;
-        List.iter
-          (fun b ->
-            indeg.(b) <- indeg.(b) - 1;
-            if indeg.(b) = 0 then Queue.add b q)
-          adj.(i)
-      done;
-      if !seen = n then Ok ()
-      else
-        Error
-          (Printf.sprintf
-             "dependency cycle through %d step(s) (with %d FIFO slots)"
-             (n - !seen) slots)
+  let hb = Hbgraph.build ~fifo_slots:slots ir in
+  match Hbgraph.mismatched_connections hb with
+  | (src, dst, ch, ns, nr) :: _ ->
+      Error
+        (Printf.sprintf "connection %d->%d ch%d: %d sends vs %d receives" src
+           dst ch ns nr)
+  | [] -> (
+      match Hbgraph.cycle_size hb with
+      | 0 -> Ok ()
+      | k ->
+          Error
+            (Printf.sprintf
+               "dependency cycle through %d step(s) (with %d FIFO slots)" k
+               slots))
 
 let check (ir : Ir.t) =
   match Ir.validate ir with

@@ -1,0 +1,118 @@
+module T = Msccl_topology
+open Msccl_core
+
+type config = {
+  c_label : string;
+  c_nodes : int;
+  c_gpus : int;
+  c_proto : T.Protocol.t;
+}
+
+type outcome =
+  | Clean of { warnings : int; infos : int }
+  | Findings of Lint.diagnostic list
+  | Build_failed of string
+
+type entry = {
+  e_algo : string;
+  e_config : config;
+  e_outcome : outcome;
+}
+
+(* The paper's evaluation systems at small scale: one and two NDv4 nodes
+   (8xA100) and one DGX-2 node (16xV100), across the three NCCL
+   protocols. *)
+let default_configs =
+  List.concat_map
+    (fun (c_label, c_nodes, c_gpus) ->
+      List.map
+        (fun c_proto -> { c_label; c_nodes; c_gpus; c_proto })
+        [ T.Protocol.Simple; T.Protocol.LL; T.Protocol.LL128 ])
+    [ ("ndv4:1", 1, 8); ("ndv4:2", 2, 8); ("dgx2:1", 1, 16) ]
+
+let lint_ir ir =
+  let ds = Lint.run ir in
+  if Lint.has_errors ds then Findings ds
+  else
+    Clean
+      {
+        warnings =
+          List.length (List.filter (fun d -> d.Lint.d_severity = Lint.Warning) ds);
+        infos =
+          List.length (List.filter (fun d -> d.Lint.d_severity = Lint.Info) ds);
+      }
+
+let run ?(configs = default_configs) () =
+  List.concat_map
+    (fun (spec : Registry.spec) ->
+      List.map
+        (fun c ->
+          let params =
+            {
+              Registry.default_params with
+              Registry.nodes = c.c_nodes;
+              gpus_per_node = c.c_gpus;
+              proto = c.c_proto;
+              (* Lint is the subject here; the postcondition check is
+                 exercised by the verifier tests and would dominate the
+                 sweep's runtime. *)
+              verify = false;
+            }
+          in
+          let e_outcome =
+            match spec.Registry.build params with
+            | ir -> lint_ir ir
+            | exception Program.Trace_error m ->
+                Build_failed ("trace error: " ^ m)
+            | exception Schedule.Scheduling_error m ->
+                Build_failed ("scheduling error: " ^ m)
+            | exception Failure m -> Build_failed m
+            | exception Invalid_argument m -> Build_failed m
+          in
+          { e_algo = spec.Registry.name; e_config = c; e_outcome })
+        configs)
+    Registry.all
+
+let failing entries =
+  List.filter
+    (fun e -> match e.e_outcome with Findings _ -> true | Clean _ | Build_failed _ -> false)
+    entries
+
+let clean entries = failing entries = []
+
+let built_somewhere entries algo =
+  List.exists
+    (fun e ->
+      e.e_algo = algo
+      && match e.e_outcome with Clean _ | Findings _ -> true | Build_failed _ -> false)
+    entries
+
+let pp fmt entries =
+  Format.fprintf fmt "@[<v>%-28s %-8s %-7s %s@," "algorithm" "topology"
+    "proto" "lint";
+  List.iter
+    (fun e ->
+      let outcome =
+        match e.e_outcome with
+        | Clean { warnings = 0; infos = 0 } -> "clean"
+        | Clean { warnings; infos } ->
+            Printf.sprintf "clean (%d warning(s), %d info)" warnings infos
+        | Findings ds ->
+            Printf.sprintf "%d error(s)" (List.length (Lint.errors ds))
+        | Build_failed m -> "skipped: " ^ m
+      in
+      Format.fprintf fmt "%-28s %-8s %-7s %s@," e.e_algo e.e_config.c_label
+        (T.Protocol.name e.e_config.c_proto)
+        outcome)
+    entries;
+  let n_clean, n_bad, n_skip =
+    List.fold_left
+      (fun (c, b, s) e ->
+        match e.e_outcome with
+        | Clean _ -> (c + 1, b, s)
+        | Findings _ -> (c, b + 1, s)
+        | Build_failed _ -> (c, b, s + 1))
+      (0, 0, 0) entries
+  in
+  Format.fprintf fmt "%d clean, %d with errors, %d skipped@]" n_clean n_bad
+    n_skip

@@ -1,0 +1,46 @@
+(** Registry-wide static analysis sweep: every registered algorithm is
+    compiled on the paper's topology presets across the three NCCL
+    protocols and run through {!Msccl_core.Lint.run} (race detection plus
+    structural rules). Backs the [msccl lint --all] CLI command and the CI
+    gate asserting the whole registry is race- and lint-clean.
+
+    Configurations an algorithm cannot build on (e.g. a hierarchical
+    algorithm on a single node) are recorded as [Build_failed], not as
+    lint findings. *)
+
+type config = {
+  c_label : string;  (** Topology label, e.g. ["ndv4:2"]. *)
+  c_nodes : int;
+  c_gpus : int;
+  c_proto : Msccl_topology.Protocol.t;
+}
+
+type outcome =
+  | Clean of { warnings : int; infos : int }
+  | Findings of Msccl_core.Lint.diagnostic list
+      (** At least one error-severity diagnostic; the full list is kept. *)
+  | Build_failed of string
+
+type entry = {
+  e_algo : string;
+  e_config : config;
+  e_outcome : outcome;
+}
+
+val default_configs : config list
+(** NDv4 with 1 and 2 nodes and DGX-2 with 1 node, each under Simple, LL
+    and LL128. *)
+
+val run : ?configs:config list -> unit -> entry list
+
+val failing : entry list -> entry list
+(** Entries with error-severity findings. *)
+
+val clean : entry list -> bool
+(** No entry has error-severity findings. *)
+
+val built_somewhere : entry list -> string -> bool
+(** The named algorithm built (and was linted) on at least one config. *)
+
+val pp : Format.formatter -> entry list -> unit
+(** Result table plus a summary line. *)
