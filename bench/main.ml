@@ -158,6 +158,32 @@ let run_e2e () =
   let rows = H.E2e.run () in
   H.E2e.print Format.std_formatter rows
 
+(* Wall-time of the registry-wide perfcheck sweep (every algorithm priced
+   on every default config), written to BENCH_perfcheck.json so CI can
+   track the analyzer's own cost over time. *)
+let run_perfcheck () =
+  let t0 = Unix.gettimeofday () in
+  let entries = H.Lint_sweep.run_perf () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let analyzed, skipped =
+    List.fold_left
+      (fun (a, s) e ->
+        match e.H.Lint_sweep.p_outcome with
+        | H.Lint_sweep.Analyzed _ -> (a + 1, s)
+        | H.Lint_sweep.Perf_skipped _ -> (a, s + 1))
+      (0, 0) entries
+  in
+  Printf.printf
+    "== perfcheck sweep: %d configs (%d analyzed, %d skipped) in %.3f s ==\n"
+    (List.length entries) analyzed skipped dt;
+  let oc = open_out "BENCH_perfcheck.json" in
+  Printf.fprintf oc
+    "{\"benchmark\":\"perfcheck-sweep\",\"configs\":%d,\"analyzed\":%d,\
+     \"skipped\":%d,\"wall_s\":%.6f}\n"
+    (List.length entries) analyzed skipped dt;
+  close_out oc;
+  Printf.printf "wrote BENCH_perfcheck.json\n%!"
+
 let () =
   let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
   match which with
@@ -166,9 +192,10 @@ let () =
   | Some "ablations" -> run_ablations ()
   | Some "tuner" -> run_tuner ()
   | Some "e2e" -> run_e2e ()
+  | Some "perfcheck" -> run_perfcheck ()
   | Some other ->
       Printf.eprintf
-        "unknown selector %S (expected micro|figures|ablations|tuner|e2e)\n"
+        "unknown selector %S (expected micro|figures|ablations|tuner|e2e|perfcheck)\n"
         other;
       exit 1
   | None ->
@@ -176,4 +203,5 @@ let () =
       run_figures ();
       run_ablations ();
       run_tuner ();
-      run_e2e ()
+      run_e2e ();
+      run_perfcheck ()

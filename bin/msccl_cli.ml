@@ -6,6 +6,7 @@
      compile     compile an algorithm to MSCCL-IR XML
      verify      check an MSCCL-IR XML file
      lint        static analysis: races + structural rules
+     analyze     performance analysis: lower-bound certificate + perf lints
      show        pretty-print an MSCCL-IR XML file
      simulate    run an algorithm or XML file on a simulated cluster
      figures     regenerate the paper's figures *)
@@ -195,7 +196,12 @@ let xml_file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let verify_cmd =
-  let run file =
+  let json_arg =
+    let doc = "Emit machine-readable JSON (the same diagnostic shape as \
+               $(b,msccl lint --json): an empty array on success)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run file json =
     match Xml.load file with
     | exception Xml.Parse_error m ->
         Printf.eprintf "parse error: %s\n" m;
@@ -203,16 +209,30 @@ let verify_cmd =
     | ir -> (
         match Verify.check ir with
         | Ok () ->
-            Printf.printf "%s: OK (postcondition, deadlock-freedom, structure)\n"
-              (Ir.summary ir);
+            if json then print_endline "[]"
+            else
+              Printf.printf
+                "%s: OK (postcondition, deadlock-freedom, structure)\n"
+                (Ir.summary ir);
             ok
         | Error msg ->
-            Printf.eprintf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
+            if json then
+              print_endline
+                (Lint.to_json
+                   [
+                     {
+                       Lint.d_rule = "verify";
+                       d_severity = Lint.Error;
+                       d_at = None;
+                       d_message = msg;
+                     };
+                   ])
+            else Printf.eprintf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
             finding_error)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify an MSCCL-IR XML file")
-    Term.(const run $ xml_file_arg)
+    Term.(const run $ xml_file_arg $ json_arg)
 
 let lint_cmd =
   let file_arg =
@@ -304,6 +324,116 @@ let lint_cmd =
       const run $ file_arg $ algo_opt_arg $ all_arg $ nodes_arg $ gpus_arg
       $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
       $ json_arg)
+
+let analyze_cmd =
+  let file_arg =
+    let doc = "MSCCL-IR XML file to analyze." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let algo_opt_arg =
+    let doc = "Analyze a registered algorithm (compiled in-process) \
+               instead of a file." in
+    Arg.(value & opt (some string) None & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let all_arg =
+    let doc = "Sweep every registered algorithm across the NDv4/DGX-2 \
+               presets and the Simple/LL/LL128 protocols, printing the \
+               efficiency table." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let analyze_one ~json ~topology ~size_bytes ir =
+    match Perfcheck.lint ~topo:topology ~size_bytes ir with
+    | exception Invalid_argument m ->
+        prerr_endline m;
+        input_error
+    | report, diags ->
+        if json then
+          Printf.printf "{\"report\":%s,\"diagnostics\":%s}\n"
+            (Perfcheck.report_json report)
+            (Lint.to_json diags)
+        else begin
+          Format.printf "%s on %s@.%a@.%a@." (Ir.summary ir)
+            (T.Topology.name topology)
+            Analysis.pp (Analysis.analyze ir) Perfcheck.pp report;
+          if diags <> [] then Format.printf "%a" Lint.pp diags
+        end;
+        ok
+  in
+  let sweep ~json ~size_bytes () =
+    let entries = H.Lint_sweep.run_perf ~size_bytes () in
+    if json then begin
+      let one (e : H.Lint_sweep.perf_entry) =
+        let body =
+          match e.H.Lint_sweep.p_outcome with
+          | H.Lint_sweep.Analyzed { report; diags } ->
+              Printf.sprintf
+                "\"status\":\"analyzed\",\"bw_efficiency\":%.6f,\"time_efficiency\":%.6f,\"diagnostics\":%s"
+                report.Perfcheck.bw_efficiency
+                report.Perfcheck.time_efficiency (Lint.to_json diags)
+          | H.Lint_sweep.Perf_skipped m ->
+              Printf.sprintf "\"status\":\"skipped\",\"reason\":\"%s\""
+                (Lint.json_escape m)
+        in
+        Printf.sprintf
+          "{\"algo\":\"%s\",\"topology\":\"%s\",\"proto\":\"%s\",%s}"
+          e.H.Lint_sweep.p_algo e.H.Lint_sweep.p_config.H.Lint_sweep.c_label
+          (T.Protocol.name e.H.Lint_sweep.p_config.H.Lint_sweep.c_proto)
+          body
+      in
+      print_endline ("[" ^ String.concat "," (List.map one entries) ^ "]")
+    end
+    else Format.printf "%a@." H.Lint_sweep.pp_perf entries;
+    ok
+  in
+  let run file algo all topo channels instances proto chunk_factor size json =
+    let size_bytes = int_of_float size in
+    match (all, file, algo) with
+    | true, _, _ -> sweep ~json ~size_bytes ()
+    | false, _, _ -> (
+        match H.Registry.parse_topology topo with
+        | Error msg ->
+            prerr_endline msg;
+            input_error
+        | Ok topology -> (
+            let nodes = T.Topology.num_nodes topology in
+            let gpus = T.Topology.gpus_per_node topology in
+            match (file, algo) with
+            | Some f, _ -> (
+                match Xml.load f with
+                | exception Xml.Parse_error m ->
+                    Printf.eprintf "parse error: %s\n" m;
+                    input_error
+                | ir -> analyze_one ~json ~topology ~size_bytes ir)
+            | None, Some a -> (
+                match
+                  build_ir a
+                    (build_params nodes gpus channels instances proto
+                       chunk_factor true)
+                with
+                | Error msg ->
+                    prerr_endline msg;
+                    input_error
+                | Ok ir -> analyze_one ~json ~topology ~size_bytes ir)
+            | None, None ->
+                prerr_endline "need an XML file, --algo NAME, or --all";
+                input_error))
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Cost-model-grounded performance analysis of MSCCL-IR: α–β–γ \
+          lower-bound certificate and efficiency ratio, per-resource \
+          congestion, thread-block imbalance, redundant sends and missed \
+          fusion opportunities. Perf findings are advisory (exit 0); \
+          unusable input exits 2.")
+    Term.(
+      const run $ file_arg $ algo_opt_arg $ all_arg $ topo_arg
+      $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
+      $ size_arg $ json_arg)
 
 let show_cmd =
   let stats_arg =
@@ -483,8 +613,8 @@ let main =
   let doc = "MSCCLang: compile, verify and simulate GPU collectives" in
   Cmd.group (Cmd.info "msccl" ~doc)
     [
-      list_cmd; compile_cmd; verify_cmd; lint_cmd; show_cmd; simulate_cmd;
-      tune_cmd; figures_cmd;
+      list_cmd; compile_cmd; verify_cmd; lint_cmd; analyze_cmd; show_cmd;
+      simulate_cmd; tune_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

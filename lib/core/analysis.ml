@@ -6,6 +6,14 @@ type connection = {
   conn_chunks : int;
 }
 
+type link = {
+  link_src : int;
+  link_dst : int;
+  link_channels : int;
+  link_messages : int;
+  link_chunks : int;
+}
+
 type t = {
   ranks : int;
   total_steps : int;
@@ -19,6 +27,8 @@ type t = {
   local_steps : int;
   connections : connection list;
   max_chunks_per_connection : int;
+  links : link list;
+  max_chunks_per_link : int;
   scratch_chunks_total : int;
 }
 
@@ -76,6 +86,36 @@ let analyze (ir : Ir.t) =
                     (b.conn_src, b.conn_dst, b.conn_chan)
            | c -> c)
   in
+  (* The same traffic aggregated per physical (src, dst) link: many
+     channels between one pair of ranks share the same wires, so
+     channel-level counts alone hide link hotspots. *)
+  let link_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let key = (c.conn_src, c.conn_dst) in
+      let chans, msgs, chunks =
+        Option.value ~default:(0, 0, 0) (Hashtbl.find_opt link_tbl key)
+      in
+      Hashtbl.replace link_tbl key
+        (chans + 1, msgs + c.conn_messages, chunks + c.conn_chunks))
+    connections;
+  let links =
+    Hashtbl.fold
+      (fun (src, dst) (chans, msgs, chunks) acc ->
+        {
+          link_src = src;
+          link_dst = dst;
+          link_channels = chans;
+          link_messages = msgs;
+          link_chunks = chunks;
+        }
+        :: acc)
+      link_tbl []
+    |> List.sort (fun a b ->
+           match Int.compare b.link_chunks a.link_chunks with
+           | 0 -> compare (a.link_src, a.link_dst) (b.link_src, b.link_dst)
+           | c -> c)
+  in
   let tbs = Ir.num_thread_blocks ir in
   let steps = Ir.num_steps ir in
   let max_steps =
@@ -99,6 +139,9 @@ let analyze (ir : Ir.t) =
     connections;
     max_chunks_per_connection =
       List.fold_left (fun m c -> max m c.conn_chunks) 0 connections;
+    links;
+    max_chunks_per_link =
+      List.fold_left (fun m l -> max m l.link_chunks) 0 links;
     scratch_chunks_total =
       Array.fold_left (fun acc g -> acc + g.Ir.scratch_chunks) 0 ir.Ir.gpus;
   }
@@ -109,10 +152,18 @@ let pp fmt t =
      critical path: %d step(s)@,\
      steps per thread block: max %d, avg %.1f@,\
      fused: %d, reductions: %d, local: %d@,\
-     connections: %d (busiest carries %d chunk(s))@,\
-     scratch: %d chunk(s) total@]"
+     connections: %d (busiest carries %d chunk(s))@,"
     t.ranks t.total_thread_blocks t.total_steps t.channels t.critical_path
     t.max_steps_per_tb t.avg_steps_per_tb t.fused_steps t.reduction_steps
     t.local_steps
     (List.length t.connections)
-    t.max_chunks_per_connection t.scratch_chunks_total
+    t.max_chunks_per_connection;
+  (match t.links with
+  | [] -> Format.fprintf fmt "links: none@,"
+  | busiest :: _ ->
+      Format.fprintf fmt
+        "links: %d physical (busiest %d->%d carries %d chunk(s) over %d \
+         channel(s))@,"
+        (List.length t.links) busiest.link_src busiest.link_dst
+        busiest.link_chunks busiest.link_channels);
+  Format.fprintf fmt "scratch: %d chunk(s) total@]" t.scratch_chunks_total

@@ -14,6 +14,17 @@ type connection = {
   conn_chunks : int;  (** Total chunks (sum of counts). *)
 }
 
+type link = {
+  link_src : int;
+  link_dst : int;
+  link_channels : int;  (** Channels (connections) sharing this link. *)
+  link_messages : int;
+  link_chunks : int;
+}
+(** Traffic between one ordered pair of ranks, aggregated over every
+    channel: all of it shares the same physical wires, so this — not the
+    per-channel view — is what link-hotspot reasoning needs. *)
+
 type t = {
   ranks : int;
   total_steps : int;
@@ -30,6 +41,10 @@ type t = {
   local_steps : int;  (** Pure local copies/reduces. *)
   connections : connection list;  (** Sorted by descending chunk volume. *)
   max_chunks_per_connection : int;
+  links : link list;
+      (** Connections aggregated per physical (src, dst) link, sorted by
+          descending chunk volume. *)
+  max_chunks_per_link : int;
   scratch_chunks_total : int;
 }
 

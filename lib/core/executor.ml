@@ -16,6 +16,13 @@ module type S = sig
 
   val run :
     ?slots:int ->
+    ?on_deliver:
+      (state ->
+      src:int * int * int ->
+      dst:int * int * int ->
+      op:Instr.opcode ->
+      payload:v array ->
+      unit) ->
     init:(rank:int -> index:int -> v option) ->
     Ir.t ->
     state
@@ -73,7 +80,7 @@ module Make (V : VALUE) = struct
         (Buffer_id.long_name l.Loc.buf) l.Loc.rank;
     Array.iteri (fun k v -> arr.(l.Loc.index + k) <- Some (V.copy v)) vals
 
-  let run ?slots ~init (ir : Ir.t) =
+  let run ?slots ?on_deliver ~init (ir : Ir.t) =
     let slots =
       match slots with
       | Some s -> s
@@ -101,8 +108,10 @@ module Make (V : VALUE) = struct
         executed = 0;
       }
     in
-    (* Connection FIFOs: (src, dst, ch) -> queued messages. *)
-    let queues : (int * int * int, v array Queue.t) Hashtbl.t =
+    (* Connection FIFOs: (src, dst, ch) -> queued messages, each tagged
+       with the sending step's (gpu, tb, step) for observers. *)
+    let queues :
+        (int * int * int, (v array * (int * int * int)) Queue.t) Hashtbl.t =
       Hashtbl.create 32
     in
     let queue key =
@@ -165,8 +174,21 @@ module Make (V : VALUE) = struct
           || Queue.length (queue send_key) < slots
         in
         if deps_ok && recv_ok && send_ok then begin
-          let push vals = Queue.add (Array.map V.copy vals) (queue send_key) in
-          let pop () = Queue.pop (queue recv_key) in
+          let push vals =
+            Queue.add
+              (Array.map V.copy vals, (rank, tb.Ir.tb_id, done_steps))
+              (queue send_key)
+          in
+          let pop () =
+            let vals, sender = Queue.pop (queue recv_key) in
+            (match on_deliver with
+            | Some f ->
+                f st ~src:sender
+                  ~dst:(rank, tb.Ir.tb_id, done_steps)
+                  ~op:step.Ir.op ~payload:vals
+            | None -> ());
+            vals
+          in
           let rd l = read st ~inplace l in
           let wr l vals = write st ~inplace l vals in
           let src () = Option.get step.Ir.src in
@@ -247,7 +269,7 @@ end
 module Symbolic = struct
   include Make (Chunk_value)
 
-  let run_collective ?slots (ir : Ir.t) =
+  let run_collective ?slots ?on_deliver (ir : Ir.t) =
     let coll = ir.Ir.collective in
     let in_size = Collective.input_buffer_size coll in
     let init ~rank ~index =
@@ -256,7 +278,7 @@ module Symbolic = struct
         let c = Collective.precondition coll ~rank ~index in
         if Chunk.is_uninit c then None else Some c
     in
-    run ?slots ~init ir
+    run ?slots ?on_deliver ~init ir
 end
 
 module Float_value = struct

@@ -39,14 +39,26 @@ module type S = sig
 
   val run :
     ?slots:int ->
+    ?on_deliver:
+      (state ->
+      src:int * int * int ->
+      dst:int * int * int ->
+      op:Instr.opcode ->
+      payload:v array ->
+      unit) ->
     init:(rank:int -> index:int -> v option) ->
     Ir.t ->
     state
   (** Executes the program. [init] gives the initial contents of every
       rank's input buffer ([None] = uninitialized); [slots] bounds
       outstanding sends per connection (default: the IR protocol's slot
-      count). Raises {!Exec_error} on deadlock, on reading uninitialized
-      data, or on leftover in-flight messages. *)
+      count). [on_deliver] is called once per message, just before the
+      receiving step consumes it, with the sending and receiving steps'
+      [(gpu, tb, step)] coordinates, the receiving opcode and the payload;
+      the [state] argument reflects the buffers {e before} the receive
+      takes effect, which is what redundancy analyses need. Raises
+      {!Exec_error} on deadlock, on reading uninitialized data, or on
+      leftover in-flight messages. *)
 
   val input : state -> rank:int -> v option array
   val output : state -> rank:int -> v option array
@@ -60,7 +72,17 @@ module Make (V : VALUE) : S with type v = V.v
 module Symbolic : sig
   include S with type v = Chunk.t
 
-  val run_collective : ?slots:int -> Ir.t -> state
+  val run_collective :
+    ?slots:int ->
+    ?on_deliver:
+      (state ->
+      src:int * int * int ->
+      dst:int * int * int ->
+      op:Instr.opcode ->
+      payload:Chunk.t array ->
+      unit) ->
+    Ir.t ->
+    state
   (** Runs with the IR collective's precondition as input. *)
 end
 

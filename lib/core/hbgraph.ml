@@ -198,6 +198,29 @@ let longest_path t =
     !best
   end
 
+let weighted_longest_path t ~weight =
+  if t.n = 0 then 0.
+  else begin
+    let indeg = Array.make t.n 0 in
+    Array.iter (List.iter (fun b -> indeg.(b) <- indeg.(b) + 1)) t.adj;
+    let q = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+    let dist = Array.init t.n (fun i -> weight i) in
+    let best = ref 0. in
+    while not (Queue.is_empty q) do
+      let i = Queue.pop q in
+      if dist.(i) > !best then best := dist.(i);
+      List.iter
+        (fun b ->
+          let d = dist.(i) +. weight b in
+          if d > dist.(b) then dist.(b) <- d;
+          indeg.(b) <- indeg.(b) - 1;
+          if indeg.(b) = 0 then Queue.add b q)
+        t.adj.(i)
+    done;
+    !best
+  end
+
 (* Transitive closure as one bitset row per node, filled in reverse
    topological order: row a = union over successors s of ({s} ∪ row s). *)
 let compute_closure t order =

@@ -58,6 +58,13 @@ val longest_path : t -> int
     0 for an empty graph). On a cyclic graph, counts only the acyclic
     prefix reachable by Kahn's algorithm. *)
 
+val weighted_longest_path : t -> weight:(int -> float) -> float
+(** Maximum over happens-before paths of the sum of per-node weights
+    ([weight] maps a node id to a nonnegative cost). With every weight
+    [1.0] this equals [float_of_int (longest_path t)]; the perfcheck pass
+    uses per-step α–β–γ costs instead to turn the critical path into a
+    time estimate. Same cyclic-graph caveat as {!longest_path}. *)
+
 val reaches : t -> int -> int -> bool
 (** [reaches t a b]: a happens-before path from [a] to [b] exists
     (irreflexive: [reaches t a a = false] unless [a] is on a cycle). *)

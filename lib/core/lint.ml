@@ -23,10 +23,17 @@ type diagnostic = {
   d_message : string;
 }
 
+type category =
+  | Correctness
+  | Perf
+
+let category_name = function Correctness -> "correctness" | Perf -> "perf"
+
 type rule = {
   rule_id : string;
   rule_doc : string;
   rule_severity : severity;
+  rule_category : category;
 }
 
 let rules =
@@ -37,6 +44,7 @@ let rules =
         "two steps on different thread blocks of one GPU touch overlapping \
          buffer intervals without a happens-before ordering";
       rule_severity = Error;
+      rule_category = Correctness;
     };
     {
       rule_id = "fifo-deadlock";
@@ -44,6 +52,7 @@ let rules =
         "the waiting graph (program order, depends, send/receive matching, \
          FIFO back-pressure) has a cycle: the kernel hangs";
       rule_severity = Error;
+      rule_category = Correctness;
     };
     {
       rule_id = "conn-mismatch";
@@ -51,6 +60,7 @@ let rules =
         "a connection's send and receive counts differ: a message is lost \
          or a receive waits forever";
       rule_severity = Error;
+      rule_category = Correctness;
     };
     {
       rule_id = "dangling-depends";
@@ -58,6 +68,7 @@ let rules =
         "a depends entry names a missing thread block or step, the step's \
          own thread block, or a target not marked has_dep";
       rule_severity = Error;
+      rule_category = Correctness;
     };
     {
       rule_id = "oob-access";
@@ -65,11 +76,13 @@ let rules =
         "a step reads or writes past its GPU's declared input/output/\
          scratch buffer size";
       rule_severity = Error;
+      rule_category = Correctness;
     };
     {
       rule_id = "dead-scratch";
       rule_doc = "scratch chunks are written but never read";
       rule_severity = Warning;
+      rule_category = Correctness;
     };
     {
       rule_id = "channel-contention";
@@ -77,11 +90,55 @@ let rules =
         "more thread blocks share one (gpu, channel) than the contention \
          threshold; they serialize on the channel's connections";
       rule_severity = Warning;
+      rule_category = Correctness;
     };
     {
       rule_id = "unused-scratch";
       rule_doc = "declared scratch chunks are never accessed";
       rule_severity = Info;
+      rule_category = Correctness;
+    };
+    {
+      rule_id = "below-bandwidth-optimal";
+      rule_doc =
+        "the algorithm's bandwidth efficiency (alpha-beta-gamma lower bound \
+         over its own critical path and congestion) falls below the \
+         threshold: a better schedule provably exists";
+      rule_severity = Warning;
+      rule_category = Perf;
+    };
+    {
+      rule_id = "link-hotspot";
+      rule_doc =
+        "one physical link's transfer time (bytes over capacity) exceeds \
+         the mean over loaded links by the hotspot factor; the schedule \
+         serializes on that wire";
+      rule_severity = Warning;
+      rule_category = Perf;
+    };
+    {
+      rule_id = "tb-imbalance";
+      rule_doc =
+        "one thread block's modelled work exceeds the mean by the imbalance \
+         factor; stragglers bound the kernel's finish time";
+      rule_severity = Warning;
+      rule_category = Perf;
+    };
+    {
+      rule_id = "redundant-send";
+      rule_doc =
+        "a send delivers data the destination rank provably already holds \
+         (tracked through the chunk dataflow): pure wasted wire time";
+      rule_severity = Warning;
+      rule_category = Perf;
+    };
+    {
+      rule_id = "missed-fusion";
+      rule_doc =
+        "a received chunk takes a scratch round-trip that a fused opcode \
+         (recv-copy-send / recv-reduce-send) would eliminate";
+      rule_severity = Info;
+      rule_category = Perf;
     };
   ]
 

@@ -25,7 +25,22 @@
     - [channel-contention] (warning): more thread blocks share one
       (gpu, channel) than [max_tbs_per_channel] — they serialize on the
       channel's connection resources.
-    - [unused-scratch] (info): declared scratch chunks never accessed. *)
+    - [unused-scratch] (info): declared scratch chunks never accessed.
+
+    A second family of {e performance} rules is registered here but
+    produced by {!Perfcheck.lint}, which needs a topology to cost the IR
+    against ({!run} emits only the correctness rules above):
+
+    - [below-bandwidth-optimal] (warning): bandwidth efficiency against
+      the alpha-beta-gamma lower bound falls below a threshold.
+    - [link-hotspot] (warning): one physical link's transfer time is far
+      above the mean — the schedule serializes on that wire.
+    - [tb-imbalance] (warning): one thread block does far more modelled
+      work than the mean.
+    - [redundant-send] (warning): a send delivers data its destination
+      provably already holds.
+    - [missed-fusion] (info): a scratch round-trip a fused opcode would
+      eliminate. *)
 
 type severity =
   | Error
@@ -49,14 +64,35 @@ type diagnostic = {
   d_message : string;
 }
 
+type category =
+  | Correctness  (** The IR computes the wrong thing or hangs. *)
+  | Perf  (** The IR is correct but provably slower than it could be. *)
+
+val category_name : category -> string
+(** ["correctness"] or ["perf"]. *)
+
 type rule = {
   rule_id : string;
   rule_doc : string;
   rule_severity : severity;
+  rule_category : category;
 }
 
 val rules : rule list
-(** Every rule lint knows, in documentation order. *)
+(** Every rule lint knows, in documentation order. Perf-category rules are
+    emitted by {!Perfcheck.lint}, not by {!run}. *)
+
+val diag :
+  ?at:at -> string -> ('a, Format.formatter, unit, diagnostic) format4 -> 'a
+(** [diag ?at rule_id fmt ...] builds a diagnostic for a registered rule,
+    taking its severity from {!rules}. Raises [Invalid_argument] on an
+    unregistered id — producers of new findings must register their rule
+    first. *)
+
+val compare_diag : diagnostic -> diagnostic -> int
+(** Severity first (errors before warnings before info), then location,
+    rule id, message: the order {!run} reports in, exposed so other
+    producers (e.g. {!Perfcheck}) sort consistently. *)
 
 val run :
   ?fifo_slots:int -> ?max_tbs_per_channel:int -> Ir.t -> diagnostic list
@@ -73,6 +109,10 @@ val pp_diagnostic : Format.formatter -> diagnostic -> unit
 
 val pp : Format.formatter -> diagnostic list -> unit
 (** All diagnostics, one per line, plus a summary line. *)
+
+val json_escape : string -> string
+(** Escapes a string for embedding in a JSON literal (shared by
+    {!to_json} and other report emitters). *)
 
 val to_json : diagnostic list -> string
 (** Machine-readable form: a JSON array of objects with [rule],

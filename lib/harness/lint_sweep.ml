@@ -73,6 +73,105 @@ let run ?(configs = default_configs) () =
         configs)
     Registry.all
 
+(* ------------------------------------------------------------------ *)
+(* Performance sweep                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type perf_outcome =
+  | Analyzed of { report : Perfcheck.t; diags : Lint.diagnostic list }
+  | Perf_skipped of string
+
+type perf_entry = {
+  p_algo : string;
+  p_config : config;
+  p_outcome : perf_outcome;
+}
+
+let run_perf ?(configs = default_configs) ?size_bytes () =
+  List.concat_map
+    (fun (spec : Registry.spec) ->
+      List.map
+        (fun c ->
+          let params =
+            {
+              Registry.default_params with
+              Registry.nodes = c.c_nodes;
+              gpus_per_node = c.c_gpus;
+              proto = c.c_proto;
+              verify = false;
+            }
+          in
+          let p_outcome =
+            match Registry.parse_topology c.c_label with
+            | Error m -> Perf_skipped ("topology: " ^ m)
+            | Ok topo -> (
+                match spec.Registry.build params with
+                | exception Program.Trace_error m ->
+                    Perf_skipped ("trace error: " ^ m)
+                | exception Schedule.Scheduling_error m ->
+                    Perf_skipped ("scheduling error: " ^ m)
+                | exception Failure m -> Perf_skipped m
+                | exception Invalid_argument m -> Perf_skipped m
+                | ir ->
+                    (* Fixed-size algorithms (e.g. a solver-produced
+                       8-rank program) do not scale with the config. *)
+                    if Ir.num_ranks ir <> T.Topology.num_ranks topo then
+                      Perf_skipped
+                        (Printf.sprintf
+                           "%d-rank program on %d-rank topology"
+                           (Ir.num_ranks ir)
+                           (T.Topology.num_ranks topo))
+                    else
+                      match Perfcheck.lint ~topo ?size_bytes ir with
+                      | report, diags -> Analyzed { report; diags }
+                      | exception Invalid_argument m -> Perf_skipped m)
+          in
+          { p_algo = spec.Registry.name; p_config = c; p_outcome })
+        configs)
+    Registry.all
+
+let pp_perf fmt entries =
+  Format.fprintf fmt "@[<v>%-28s %-8s %-7s %7s %7s  %s@," "algorithm"
+    "topology" "proto" "bw-eff" "t-eff" "findings";
+  List.iter
+    (fun e ->
+      (match e.p_outcome with
+      | Analyzed { report; diags } ->
+          let warnings =
+            List.length
+              (List.filter
+                 (fun d -> d.Lint.d_severity = Lint.Warning)
+                 diags)
+          in
+          let infos =
+            List.length
+              (List.filter (fun d -> d.Lint.d_severity = Lint.Info) diags)
+          in
+          Format.fprintf fmt "%-28s %-8s %-7s %7.3f %7.3f  %s" e.p_algo
+            e.p_config.c_label
+            (T.Protocol.name e.p_config.c_proto)
+            report.Perfcheck.bw_efficiency report.Perfcheck.time_efficiency
+            (if warnings = 0 && infos = 0 then "none"
+             else Printf.sprintf "%d warning(s), %d info" warnings infos)
+      | Perf_skipped m ->
+          Format.fprintf fmt "%-28s %-8s %-7s %7s %7s  skipped: %s" e.p_algo
+            e.p_config.c_label
+            (T.Protocol.name e.p_config.c_proto)
+            "-" "-" m);
+      Format.fprintf fmt "@,")
+    entries;
+  let n_an, n_flag, n_skip =
+    List.fold_left
+      (fun (a, f, s) e ->
+        match e.p_outcome with
+        | Analyzed { diags = []; _ } -> (a + 1, f, s)
+        | Analyzed _ -> (a + 1, f + 1, s)
+        | Perf_skipped _ -> (a, f, s + 1))
+      (0, 0, 0) entries
+  in
+  Format.fprintf fmt "%d analyzed (%d with findings), %d skipped@]" n_an
+    n_flag n_skip
+
 let failing entries =
   List.filter
     (fun e -> match e.e_outcome with Findings _ -> true | Clean _ | Build_failed _ -> false)

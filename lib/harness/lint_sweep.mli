@@ -33,6 +33,32 @@ val default_configs : config list
 
 val run : ?configs:config list -> unit -> entry list
 
+type perf_outcome =
+  | Analyzed of {
+      report : Msccl_core.Perfcheck.t;
+      diags : Msccl_core.Lint.diagnostic list;
+    }
+  | Perf_skipped of string
+      (** The algorithm does not build on the config, or its rank count is
+          fixed and does not match the topology. *)
+
+type perf_entry = {
+  p_algo : string;
+  p_config : config;
+  p_outcome : perf_outcome;
+}
+
+val run_perf :
+  ?configs:config list -> ?size_bytes:int -> unit -> perf_entry list
+(** The {!Msccl_core.Perfcheck} counterpart of {!run}: every registered
+    algorithm priced on every config, yielding the efficiency table the
+    CI artifact publishes. [size_bytes] defaults to
+    {!Msccl_core.Perfcheck.default_size_bytes}. *)
+
+val pp_perf : Format.formatter -> perf_entry list -> unit
+(** Efficiency table (bandwidth and time efficiency per entry) plus a
+    summary line. *)
+
 val failing : entry list -> entry list
 (** Entries with error-severity findings. *)
 

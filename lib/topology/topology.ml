@@ -99,6 +99,45 @@ let route t ~src ~dst =
   | Some rt -> rt
   | None -> invalid_arg "Topology.route: missing route"
 
+let resource_capacity t rid =
+  if rid < 0 || rid >= Array.length t.resources then
+    invalid_arg "Topology.resource_capacity: id out of range";
+  t.resources.(rid).capacity
+
+let route_bandwidth t ~src ~dst =
+  let rt = route t ~src ~dst in
+  match rt.hops with
+  | [] -> rt.tb_cap
+  | hops ->
+      List.fold_left
+        (fun bw h -> Float.min bw (resource_capacity t h))
+        infinity hops
+
+let route_alpha t ~src ~dst = (route t ~src ~dst).base_alpha
+
+let fold_routes t f acc =
+  let r = num_ranks t in
+  let acc = ref acc in
+  for src = 0 to r - 1 do
+    for dst = 0 to r - 1 do
+      match t.routes.(src).(dst) with
+      | Some rt -> acc := f !acc ~src ~dst rt
+      | None -> ()
+    done
+  done;
+  !acc
+
+let min_alpha ?(cross_node_only = false) t =
+  fold_routes t
+    (fun acc ~src ~dst rt ->
+      if cross_node_only && same_node t src dst then acc
+      else
+        Some
+          (match acc with
+          | None -> rt.base_alpha
+          | Some a -> Float.min a rt.base_alpha))
+    None
+
 let sm_count t = t.sm_count
 let local_bandwidth t = t.local_bandwidth
 let reduce_gamma t = t.reduce_gamma

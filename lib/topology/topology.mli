@@ -67,6 +67,32 @@ val route : t -> src:int -> dst:int -> route
 (** The route between two distinct ranks. Raises [Invalid_argument] when
     [src = dst] or either rank is out of range. *)
 
+val resource_capacity : t -> int -> float
+(** Capacity in bytes/second of a resource id. Raises [Invalid_argument]
+    when the id is out of range. *)
+
+val route_bandwidth : t -> src:int -> dst:int -> float
+(** The uncontended wire bandwidth of the route [src -> dst]: the minimum
+    capacity over its hop resources (the β of the link in α–β–γ terms,
+    independent of the per-thread-block cap). Falls back to [tb_cap] for a
+    route with no hops. *)
+
+val route_alpha : t -> src:int -> dst:int -> float
+(** The per-message setup latency of the route [src -> dst] at Simple
+    protocol (the α of the link); scale by
+    {!Protocol.alpha_scale} for other protocols. The γ of the model is
+    global to the topology: {!reduce_gamma}. *)
+
+val fold_routes :
+  t -> ('a -> src:int -> dst:int -> route -> 'a) -> 'a -> 'a
+(** Folds over every defined route in rank order. *)
+
+val min_alpha : ?cross_node_only:bool -> t -> float option
+(** Smallest [base_alpha] over all routes ([None] for a 1-rank topology);
+    with [cross_node_only] restricted to routes between nodes (used for
+    latency lower bounds of collectives that must cross node
+    boundaries). *)
+
 val sm_count : t -> int
 (** Streaming multiprocessors per GPU: an upper bound on thread blocks per
     GPU for a cooperative kernel launch (paper §6.2). *)
