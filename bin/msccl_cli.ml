@@ -9,6 +9,7 @@
      analyze     performance analysis: lower-bound certificate + perf lints
      show        pretty-print an MSCCL-IR XML file
      simulate    run an algorithm or XML file on a simulated cluster
+     fuzz        differential fuzzing against the oracle stack
      figures     regenerate the paper's figures *)
 
 open Cmdliner
@@ -578,6 +579,137 @@ let tune_cmd =
        ~doc:"Build the size-range algorithm selection table for a topology")
     Term.(const run $ topo_arg $ coll_arg)
 
+let fuzz_cmd =
+  let module F = Msccl_fuzz in
+  let seed_arg =
+    let doc = "Run seed; every case is a deterministic function of it." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let cases_arg =
+    let doc = "Number of random cases to generate and check." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Restrict checking to one oracle (repeatable): exec, equiv, static, \
+       perf or roundtrip. Default: all five."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON report object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let out_dir_arg =
+    let doc =
+      "Write every failing case (original and shrunk) as replayable seed \
+       files into this directory (created if missing)."
+    in
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~docv:"DIR" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay stored seed files through the oracles instead of generating \
+       random cases (repeatable)."
+    in
+    Arg.(value & opt_all file [] & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let mutate_arg =
+    let doc =
+      "Self-test: corrupt every fused compilation with a deliberately \
+       broken fusion rule and demand that the oracles catch it."
+    in
+    Arg.(value & flag & info [ "mutate-fusion" ] ~doc)
+  in
+  let resolve_oracles names =
+    match names with
+    | [] -> Ok F.Oracle.all
+    | names ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match F.Oracle.id_of_name (String.lowercase_ascii n) with
+              | Some o -> go (o :: acc) rest
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "unknown oracle %S (expected exec, equiv, static, \
+                        perf or roundtrip)"
+                       n))
+        in
+        go [] names
+  in
+  let replay_files ~oracles files =
+    let failed = ref false in
+    List.iter
+      (fun file ->
+        match F.Case.load file with
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            failed := true
+        | Ok c -> (
+            match F.Fuzz.replay ~oracles c with
+            | Ok () -> Printf.printf "%s: OK (%s)\n" file (F.Case.describe c)
+            | Error f ->
+                Format.printf "%s: FAILED %a@." file F.Oracle.pp_failure f;
+                failed := true))
+      files;
+    if !failed then finding_error else ok
+  in
+  let save_failures dir (r : F.Fuzz.report) =
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    List.iter
+      (fun (f : F.Fuzz.failure) ->
+        let base =
+          Filename.concat dir
+            (Printf.sprintf "fail-s%d-i%d" r.F.Fuzz.r_seed
+               f.F.Fuzz.f_case.F.Case.index)
+        in
+        F.Case.save f.F.Fuzz.f_case (base ^ "-orig.case");
+        F.Case.save f.F.Fuzz.f_shrunk (base ^ ".case"))
+      r.F.Fuzz.r_failures
+  in
+  let run seed cases oracle_names json out_dir replays mutate_fusion =
+    match resolve_oracles oracle_names with
+    | Error msg ->
+        prerr_endline msg;
+        input_error
+    | Ok oracles ->
+        if replays <> [] then replay_files ~oracles replays
+        else begin
+          let mutate = if mutate_fusion then Some F.Mutate.break_fusion else None in
+          let report = F.Fuzz.run ?mutate ~oracles ~seed ~cases () in
+          Option.iter (fun dir -> save_failures dir report) out_dir;
+          if json then print_endline (F.Fuzz.report_json report)
+          else begin
+            List.iter
+              (fun (f : F.Fuzz.failure) ->
+                Format.printf "case %d (%s):@.  %a@.  shrunk to: %s@."
+                  f.F.Fuzz.f_case.F.Case.index
+                  (F.Case.describe f.F.Fuzz.f_case)
+                  F.Oracle.pp_failure f.F.Fuzz.f_failure
+                  (F.Case.describe f.F.Fuzz.f_shrunk))
+              report.F.Fuzz.r_failures;
+            Printf.printf "fuzz seed %d: %d case(s), %d failure(s)\n" seed
+              cases
+              (List.length report.F.Fuzz.r_failures)
+          end;
+          if report.F.Fuzz.r_failures = [] then ok else finding_error
+        end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random DSL programs cross-checked against \
+          the executor (symbolic + numeric), differential compilation \
+          (fusion on/off, instances k/1), the static analyses, the \
+          perfcheck lower bound and XML round-tripping. Failing cases are \
+          shrunk and written as replayable seed files. Exit 1 on failures, \
+          2 on unusable input.")
+    Term.(
+      const run $ seed_arg $ cases_arg $ oracle_arg $ json_arg $ out_dir_arg
+      $ replay_arg $ mutate_arg)
+
 let figures_cmd =
   let which_arg =
     let doc = "Figure ids to regenerate (default: all)." in
@@ -614,7 +746,7 @@ let main =
   Cmd.group (Cmd.info "msccl" ~doc)
     [
       list_cmd; compile_cmd; verify_cmd; lint_cmd; analyze_cmd; show_cmd;
-      simulate_cmd; tune_cmd; figures_cmd;
+      simulate_cmd; tune_cmd; fuzz_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

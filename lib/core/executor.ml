@@ -60,23 +60,27 @@ module Make (V : VALUE) = struct
     | Buffer_id.Output -> if inplace then b.b_input else b.b_output
     | Buffer_id.Scratch -> b.b_scratch
 
-  let read st ~inplace (l : Loc.t) =
+  (* [ctx] names the executing instruction — "rank R tb T step S (op)" —
+     so a failure in a large fuzzed or shrunk IR is diagnosable without a
+     debugger. *)
+  let read st ~inplace ~ctx (l : Loc.t) =
     let arr = buffer_of st ~inplace l in
     Array.init l.Loc.count (fun k ->
         let idx = l.Loc.index + k in
         if idx >= Array.length arr then
-          error "read past end of %s buffer at %a"
+          error "%s: read past end of %s buffer at %a" ctx
             (Buffer_id.long_name l.Loc.buf) Loc.pp l;
         match arr.(idx) with
         | Some v -> v
         | None ->
-            error "reading uninitialized chunk at rank %d %s[%d]" l.Loc.rank
+            error "%s: reading uninitialized chunk at rank %d %s[%d]" ctx
+              l.Loc.rank
               (Buffer_id.long_name l.Loc.buf) idx)
 
-  let write st ~inplace (l : Loc.t) vals =
+  let write st ~inplace ~ctx (l : Loc.t) vals =
     let arr = buffer_of st ~inplace l in
     if l.Loc.index + l.Loc.count > Array.length arr then
-      error "write past end of %s buffer at rank %d"
+      error "%s: write past end of %s buffer at rank %d" ctx
         (Buffer_id.long_name l.Loc.buf) l.Loc.rank;
     Array.iteri (fun k v -> arr.(l.Loc.index + k) <- Some (V.copy v)) vals
 
@@ -189,8 +193,13 @@ module Make (V : VALUE) = struct
             | None -> ());
             vals
           in
-          let rd l = read st ~inplace l in
-          let wr l vals = write st ~inplace l vals in
+          let ctx =
+            Printf.sprintf "rank %d tb %d step %d (%s)" rank tb.Ir.tb_id
+              done_steps
+              (Instr.opcode_name step.Ir.op)
+          in
+          let rd l = read st ~inplace ~ctx l in
+          let wr l vals = write st ~inplace ~ctx l vals in
           let src () = Option.get step.Ir.src in
           let dst () = Option.get step.Ir.dst in
           (match step.Ir.op with
@@ -253,8 +262,11 @@ module Make (V : VALUE) = struct
     Hashtbl.iter
       (fun (s, d, c) q ->
         if not (Queue.is_empty q) then
-          error "%d message(s) left in flight on connection %d->%d ch%d"
-            (Queue.length q) s d c)
+          let _, (sg, stb, sstep) = Queue.peek q in
+          error
+            "%d message(s) left in flight on connection %d->%d ch%d (first \
+             sent by rank %d tb %d step %d)"
+            (Queue.length q) s d c sg stb sstep)
       queues;
     st
 end

@@ -152,6 +152,31 @@ let validate t =
         fail "Ir: connection %d->%d ch%d receives without sends" src dst ch)
     recvs
 
+let equal_step (x : step) (y : step) =
+  x.s = y.s && x.op = y.op && x.count = y.count && x.depends = y.depends
+  && x.has_dep = y.has_dep
+  && Option.equal Loc.equal x.src y.src
+  && Option.equal Loc.equal x.dst y.dst
+
+let equal_tb (x : tb) (y : tb) =
+  x.tb_id = y.tb_id && x.send = y.send && x.recv = y.recv && x.chan = y.chan
+  && Array.length x.steps = Array.length y.steps
+  && Array.for_all2 equal_step x.steps y.steps
+
+let equal_gpu (x : gpu) (y : gpu) =
+  x.gpu_id = y.gpu_id
+  && x.input_chunks = y.input_chunks
+  && x.output_chunks = y.output_chunks
+  && x.scratch_chunks = y.scratch_chunks
+  && Array.length x.tbs = Array.length y.tbs
+  && Array.for_all2 equal_tb x.tbs y.tbs
+
+let equal a b =
+  a.name = b.name && a.proto = b.proto
+  && Collective.equal_shape a.collective b.collective
+  && num_ranks a = num_ranks b
+  && Array.for_all2 equal_gpu a.gpus b.gpus
+
 let pp_loc_opt fmt = function
   | None -> Format.pp_print_string fmt "-"
   | Some l ->

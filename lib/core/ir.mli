@@ -69,6 +69,12 @@ val validate : t -> unit
     references valid and [has_dep] consistent; send/receive counts matched
     per connection. Raises [Invalid_argument] with a message. *)
 
+val equal : t -> t -> bool
+(** Structural equality: name, protocol, collective shape
+    ({!Collective.equal_shape} — a [Custom] collective's closures are not
+    compared), and every gpu/thread-block/step field. This is the notion of
+    equality XML round-tripping preserves. *)
+
 val pp : Format.formatter -> t -> unit
 (** Readable dump of the whole IR (the format of Fig. 4's MSCCL-IR box). *)
 

@@ -254,10 +254,19 @@ let latency_bound topo (coll : Collective.t) proto (d : demand) =
   let scale = Protocol.alpha_scale proto in
   let rounds =
     match coll.Collective.kind with
-    | Collective.Alltonext | Collective.Custom _ -> 1
-    | Collective.Allreduce | Collective.Allgather | Collective.Reduce_scatter
-    | Collective.Alltoall | Collective.Broadcast _ | Collective.Reduce _
+    (* The log-round dissemination argument only forces sequential
+       transfers when a single value must reach (or aggregate from) all
+       p ranks. Alltoall, scatter and gather route every chunk from one
+       source to one destination, so nothing forces more than one
+       transfer in sequence — with enough links the p-1 messages all
+       overlap, and a direct implementation really does finish in one
+       α round (the registry sweep in the tests checks the simulator
+       against this bound). *)
+    | Collective.Alltonext | Collective.Custom _ | Collective.Alltoall
     | Collective.Gather _ | Collective.Scatter _ ->
+        1
+    | Collective.Allreduce | Collective.Allgather | Collective.Reduce_scatter
+    | Collective.Broadcast _ | Collective.Reduce _ ->
         ceil_log2 p
   in
   let by_rounds =

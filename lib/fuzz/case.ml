@@ -1,0 +1,435 @@
+open Msccl_core
+module T = Msccl_topology
+
+type coll =
+  | Allgather
+  | Allreduce
+  | Reduce_scatter
+  | Alltoall
+  | Alltonext
+  | Broadcast of int
+  | Scatter of int
+  | Gather of int
+
+type strategy =
+  | Ring
+  | Direct
+
+type t = {
+  seed : int;
+  index : int;
+  nodes : int;
+  gpus_per_node : int;
+  coll : coll;
+  strategy : strategy;
+  ring : int list;
+  chunk_factor : int;
+  channels : int;
+  chan_rot : int;
+  proto : T.Protocol.t;
+  fuse : bool;
+  instances : int;
+  aggregate : bool;
+  detour : bool;
+}
+
+let num_ranks c = c.nodes * c.gpus_per_node
+
+let coll_to_string = function
+  | Allgather -> "allgather"
+  | Allreduce -> "allreduce"
+  | Reduce_scatter -> "reducescatter"
+  | Alltoall -> "alltoall"
+  | Alltonext -> "alltonext"
+  | Broadcast r -> Printf.sprintf "broadcast:%d" r
+  | Scatter r -> Printf.sprintf "scatter:%d" r
+  | Gather r -> Printf.sprintf "gather:%d" r
+
+let coll_of_string s =
+  match String.split_on_char ':' s with
+  | [ "allgather" ] -> Ok Allgather
+  | [ "allreduce" ] -> Ok Allreduce
+  | [ "reducescatter" ] -> Ok Reduce_scatter
+  | [ "alltoall" ] -> Ok Alltoall
+  | [ "alltonext" ] -> Ok Alltonext
+  | [ ("broadcast" | "scatter" | "gather") as k; r ] -> (
+      match int_of_string_opt r with
+      | None -> Error (Printf.sprintf "bad root in %S" s)
+      | Some r ->
+          Ok
+            (match k with
+            | "broadcast" -> Broadcast r
+            | "scatter" -> Scatter r
+            | _ -> Gather r))
+  | _ -> Error (Printf.sprintf "unknown collective %S" s)
+
+let strategy_to_string = function Ring -> "ring" | Direct -> "direct"
+
+let strategy_of_string = function
+  | "ring" -> Ok Ring
+  | "direct" -> Ok Direct
+  | s -> Error (Printf.sprintf "unknown strategy %S" s)
+
+let compatible strategy coll =
+  match (strategy, coll) with
+  | Ring, (Allgather | Allreduce | Reduce_scatter | Broadcast _) -> true
+  | Ring, (Alltoall | Alltonext | Scatter _ | Gather _) -> false
+  | Direct, (Allgather | Alltoall | Alltonext | Broadcast _ | Scatter _ | Gather _)
+    -> true
+  | Direct, (Allreduce | Reduce_scatter) -> false
+
+let root_of = function
+  | Broadcast r | Scatter r | Gather r -> Some r
+  | Allgather | Allreduce | Reduce_scatter | Alltoall | Alltonext -> None
+
+let validate c =
+  let r = num_ranks c in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if c.nodes < 1 || c.gpus_per_node < 1 then err "nonpositive cluster shape"
+  else if r < 2 then err "need at least 2 ranks"
+  else if r > 64 then err "more than 64 ranks"
+  else if c.chunk_factor < 1 || c.chunk_factor > 64 then
+    err "chunk_factor out of range"
+  else if c.coll = Allreduce && c.chunk_factor <> r then
+    err "allreduce ring requires chunk_factor = num_ranks"
+  else if c.channels < 1 || c.channels > 32 then err "channels out of range"
+  else if c.chan_rot < 0 || c.chan_rot >= c.channels then
+    err "chan_rot out of range"
+  else if c.instances < 1 || c.instances > 8 then err "instances out of range"
+  else if List.sort_uniq Int.compare c.ring <> List.init r Fun.id then
+    err "ring is not a permutation of 0..%d" (r - 1)
+  else if not (compatible c.strategy c.coll) then
+    err "strategy %s cannot implement %s"
+      (strategy_to_string c.strategy)
+      (coll_to_string c.coll)
+  else if c.detour && c.strategy <> Direct then
+    err "detour requires the direct strategy"
+  else
+    match root_of c.coll with
+    | Some root when root < 0 || root >= r -> err "root out of range"
+    | Some _ | None -> Ok ()
+
+let collective c =
+  let num_ranks = num_ranks c in
+  let kind, inplace =
+    match c.coll with
+    | Allgather -> (Collective.Allgather, false)
+    | Allreduce -> (Collective.Allreduce, true)
+    | Reduce_scatter -> (Collective.Reduce_scatter, false)
+    | Alltoall -> (Collective.Alltoall, false)
+    | Alltonext -> (Collective.Alltonext, false)
+    | Broadcast r -> (Collective.Broadcast r, false)
+    | Scatter r -> (Collective.Scatter r, false)
+    | Gather r -> (Collective.Gather r, false)
+  in
+  Collective.make kind ~num_ranks ~chunk_factor:c.chunk_factor ~inplace ()
+
+(* ------------------------------------------------------------------ *)
+(* Program builders                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Ring programs follow the {!Msccl_algorithms.Patterns} idiom but place
+   each ring slot at its *owner's* buffer offset, which is what the
+   built-in postconditions require when the ring is a non-identity
+   permutation (Patterns ties slot r to offset r, i.e. to ring position). *)
+
+let ring_ch c ~hop = Some ((hop + c.chan_rot) mod c.channels)
+
+let ring_allgather c prog =
+  let r_len = num_ranks c and cf = c.chunk_factor in
+  let ring = Array.of_list c.ring in
+  for ri = 0 to r_len - 1 do
+    let owner = ring.(ri) in
+    let own = Program.chunk prog ~rank:owner Buffer_id.Input ~index:0 ~count:cf () in
+    let cur =
+      ref (Program.copy own ~rank:owner Buffer_id.Output ~index:(owner * cf) ())
+    in
+    for hop = 1 to r_len - 1 do
+      let next = ring.((ri + hop) mod r_len) in
+      cur :=
+        Program.copy !cur ~rank:next Buffer_id.Output ~index:(owner * cf)
+          ?ch:(ring_ch c ~hop:(hop - 1))
+          ()
+    done
+  done
+
+let ring_reduce_scatter_program c prog =
+  let r_len = num_ranks c and cf = c.chunk_factor in
+  let ring = Array.of_list c.ring in
+  for ri = 0 to r_len - 1 do
+    let owner = ring.(ri) in
+    let index = owner * cf in
+    (* Start the running sum one hop past the owner so the last reduce
+       lands on the owner. *)
+    let cur =
+      ref
+        (Program.chunk prog
+           ~rank:(ring.((ri + 1) mod r_len))
+           Buffer_id.Input ~index ~count:cf ())
+    in
+    for hop = 1 to r_len - 1 do
+      let next = ring.((ri + 1 + hop) mod r_len) in
+      let own = Program.chunk prog ~rank:next Buffer_id.Input ~index ~count:cf () in
+      cur := Program.reduce own !cur ?ch:(ring_ch c ~hop:(hop - 1)) ()
+    done;
+    ignore (Program.copy !cur ~rank:owner Buffer_id.Output ~index:0 ())
+  done
+
+let ring_allreduce c prog =
+  let module P = Msccl_algorithms.Patterns in
+  let ch ~hop = ring_ch c ~hop in
+  P.ring_reduce_scatter prog ~ranks:c.ring ~offset:0 ~count:1 ~ch ();
+  P.ring_all_gather prog ~ranks:c.ring ~offset:0 ~count:1 ~ch
+    ~hop_base:(num_ranks c - 1) ()
+
+let ring_broadcast c ~root prog =
+  let r_len = num_ranks c and cf = c.chunk_factor in
+  let ring = Array.of_list c.ring in
+  let pos_root =
+    let rec find i = if ring.(i) = root then i else find (i + 1) in
+    find 0
+  in
+  for i = 0 to cf - 1 do
+    let ch = Some ((i + c.chan_rot) mod c.channels) in
+    let chunk = Program.chunk prog ~rank:root Buffer_id.Input ~index:i () in
+    let cur =
+      ref (Program.copy chunk ~rank:root Buffer_id.Output ~index:i ())
+    in
+    for hop = 1 to r_len - 1 do
+      let next = ring.((pos_root + hop) mod r_len) in
+      cur := Program.copy !cur ~rank:next Buffer_id.Output ~index:i ?ch ()
+    done
+  done
+
+(* Direct programs: one transfer per (source block, destination), moved
+   either as a single aggregated multi-count copy or chunk by chunk, and
+   optionally detoured through the source's scratch buffer (which is what
+   exercises scratch indexing and send-from-scratch fusion). *)
+
+let direct_ch c ~src ~dst = Some ((src + dst + c.chan_rot) mod c.channels)
+
+let move c prog ~src ~sidx ~dst ~didx =
+  let cf = c.chunk_factor in
+  let ch = direct_ch c ~src ~dst in
+  let one ~index ~count ~didx =
+    let chunk = Program.chunk prog ~rank:src Buffer_id.Input ~index ~count () in
+    let chunk =
+      if c.detour then
+        Program.copy chunk ~rank:src Buffer_id.Scratch ~index:(index mod cf) ()
+      else chunk
+    in
+    ignore (Program.copy chunk ~rank:dst Buffer_id.Output ~index:didx ?ch ())
+  in
+  if c.aggregate then one ~index:sidx ~count:cf ~didx
+  else
+    for j = 0 to cf - 1 do
+      one ~index:(sidx + j) ~count:1 ~didx:(didx + j)
+    done
+
+let direct c prog =
+  let cf = c.chunk_factor in
+  match c.coll with
+  | Allgather ->
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst -> move c prog ~src ~sidx:0 ~dst ~didx:(src * cf))
+            c.ring)
+        c.ring
+  | Alltoall ->
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              move c prog ~src ~sidx:(dst * cf) ~dst ~didx:(src * cf))
+            c.ring)
+        c.ring
+  | Alltonext ->
+      List.iter
+        (fun dst -> if dst > 0 then move c prog ~src:(dst - 1) ~sidx:0 ~dst ~didx:0)
+        c.ring
+  | Broadcast root ->
+      List.iter (fun dst -> move c prog ~src:root ~sidx:0 ~dst ~didx:0) c.ring
+  | Scatter root ->
+      List.iter
+        (fun dst -> move c prog ~src:root ~sidx:(dst * cf) ~dst ~didx:0)
+        c.ring
+  | Gather root ->
+      List.iter
+        (fun src -> move c prog ~src ~sidx:0 ~dst:root ~didx:(src * cf))
+        c.ring
+  | Allreduce | Reduce_scatter -> assert false
+
+let program c prog =
+  match (c.strategy, c.coll) with
+  | Ring, Allgather -> ring_allgather c prog
+  | Ring, Allreduce -> ring_allreduce c prog
+  | Ring, Reduce_scatter -> ring_reduce_scatter_program c prog
+  | Ring, Broadcast root -> ring_broadcast c ~root prog
+  | Ring, (Alltoall | Alltonext | Scatter _ | Gather _) -> assert false
+  | Direct, _ -> direct c prog
+
+let compile ?fuse ?instances c =
+  let fuse = Option.value fuse ~default:c.fuse in
+  let instances = Option.value instances ~default:c.instances in
+  Compile.ir
+    ~name:
+      (Printf.sprintf "fuzz-%s-%s"
+         (coll_to_string c.coll)
+         (strategy_to_string c.strategy))
+    ~fuse ~proto:c.proto ~instances ~verify:false (collective c) (program c)
+
+let topology c =
+  T.Presets.hierarchical ~nodes:c.nodes ~gpus_per_node:c.gpus_per_node ()
+
+let describe c =
+  Printf.sprintf
+    "%s/%s ranks=%d (%dx%d) cf=%d ch=%d rot=%d proto=%s fuse=%b inst=%d%s%s"
+    (coll_to_string c.coll)
+    (strategy_to_string c.strategy)
+    (num_ranks c) c.nodes c.gpus_per_node c.chunk_factor c.channels c.chan_rot
+    (T.Protocol.name c.proto) c.fuse c.instances
+    (if c.aggregate then " agg" else "")
+    (if c.detour then " detour" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Seed files                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_string c =
+  String.concat "\n"
+    [
+      "# msccl fuzz case v1";
+      Printf.sprintf "seed=%d" c.seed;
+      Printf.sprintf "index=%d" c.index;
+      Printf.sprintf "nodes=%d" c.nodes;
+      Printf.sprintf "gpus=%d" c.gpus_per_node;
+      Printf.sprintf "coll=%s" (coll_to_string c.coll);
+      Printf.sprintf "strategy=%s" (strategy_to_string c.strategy);
+      Printf.sprintf "ring=%s"
+        (String.concat "," (List.map string_of_int c.ring));
+      Printf.sprintf "chunk_factor=%d" c.chunk_factor;
+      Printf.sprintf "channels=%d" c.channels;
+      Printf.sprintf "chan_rot=%d" c.chan_rot;
+      Printf.sprintf "proto=%s" (T.Protocol.name c.proto);
+      Printf.sprintf "fuse=%b" c.fuse;
+      Printf.sprintf "instances=%d" c.instances;
+      Printf.sprintf "aggregate=%b" c.aggregate;
+      Printf.sprintf "detour=%b" c.detour;
+      "";
+    ]
+
+let ( let* ) = Result.bind
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let fields = Hashtbl.create 16 in
+  let rec parse = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then parse rest
+        else
+          match String.index_opt line '=' with
+          | None -> Error (Printf.sprintf "malformed line %S" line)
+          | Some eq ->
+              let k = String.sub line 0 eq in
+              let v = String.sub line (eq + 1) (String.length line - eq - 1) in
+              if Hashtbl.mem fields k then
+                Error (Printf.sprintf "duplicate key %S" k)
+              else begin
+                Hashtbl.add fields k v;
+                parse rest
+              end)
+  in
+  let* () = parse lines in
+  let field k =
+    match Hashtbl.find_opt fields k with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing key %S" k)
+  in
+  let int_field k =
+    let* v = field k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "key %S: not an integer (%S)" k v)
+  in
+  let bool_field k =
+    let* v = field k in
+    match bool_of_string_opt v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "key %S: not a boolean (%S)" k v)
+  in
+  let* seed = int_field "seed" in
+  let* index = int_field "index" in
+  let* nodes = int_field "nodes" in
+  let* gpus_per_node = int_field "gpus" in
+  let* coll = Result.join (Result.map coll_of_string (field "coll")) in
+  let* strategy =
+    Result.join (Result.map strategy_of_string (field "strategy"))
+  in
+  let* ring =
+    let* v = field "ring" in
+    let parts = String.split_on_char ',' v in
+    let rec ints acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match int_of_string_opt (String.trim p) with
+          | Some n -> ints (n :: acc) rest
+          | None -> Error (Printf.sprintf "ring: not an integer (%S)" p))
+    in
+    ints [] parts
+  in
+  let* chunk_factor = int_field "chunk_factor" in
+  let* channels = int_field "channels" in
+  let* chan_rot = int_field "chan_rot" in
+  let* proto =
+    let* v = field "proto" in
+    match T.Protocol.of_string v with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "unknown protocol %S" v)
+  in
+  let* fuse = bool_field "fuse" in
+  let* instances = int_field "instances" in
+  let* aggregate = bool_field "aggregate" in
+  let* detour = bool_field "detour" in
+  let c =
+    {
+      seed;
+      index;
+      nodes;
+      gpus_per_node;
+      coll;
+      strategy;
+      ring;
+      chunk_factor;
+      channels;
+      chan_rot;
+      proto;
+      fuse;
+      instances;
+      aggregate;
+      detour;
+    }
+  in
+  let* () = validate c in
+  Ok c
+
+let save c path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | s -> (
+      match of_string s with
+      | Ok c -> Ok c
+      | Error m -> Error (Printf.sprintf "%s: %s" path m))

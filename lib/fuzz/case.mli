@@ -1,0 +1,77 @@
+(** A fuzz case: the complete parameter vector of one randomly generated
+    DSL program plus its compilation knobs.
+
+    A case is correct {e by construction}: the routing strategies below all
+    implement their collective's postcondition when compiled faithfully, so
+    any oracle failure is a compiler (or oracle) bug, not a generator bug.
+    Cases serialize to a small text format ([key=value] lines) so a failing
+    case can be checked in under [test/corpus/] and replayed forever. *)
+
+type coll =
+  | Allgather
+  | Allreduce
+  | Reduce_scatter
+  | Alltoall
+  | Alltonext
+  | Broadcast of int  (** root rank *)
+  | Scatter of int  (** root rank *)
+  | Gather of int  (** root rank *)
+
+type strategy =
+  | Ring  (** permuted logical ring built from the {!Patterns} idiom *)
+  | Direct  (** point-to-point copies between every involved pair *)
+
+type t = {
+  seed : int;  (** Run seed that produced the case (label only). *)
+  index : int;  (** Case number within the run (label only). *)
+  nodes : int;
+  gpus_per_node : int;
+  coll : coll;
+  strategy : strategy;
+  ring : int list;  (** Rank permutation: ring order / iteration order. *)
+  chunk_factor : int;
+  channels : int;
+  chan_rot : int;  (** Rotation applied to the hop→channel mapping. *)
+  proto : Msccl_topology.Protocol.t;
+  fuse : bool;
+  instances : int;
+  aggregate : bool;  (** Direct: move blocks as one multi-count transfer. *)
+  detour : bool;  (** Direct: route transfers through the source's scratch. *)
+}
+
+val num_ranks : t -> int
+
+val validate : t -> (unit, string) result
+(** Structural validity: positive dimensions, ranks within bounds, [ring] a
+    permutation of all ranks, root in range, strategy/collective
+    compatibility, AllReduce's [chunk_factor = num_ranks] invariant. *)
+
+val collective : t -> Msccl_core.Collective.t
+
+val program : t -> Msccl_core.Program.t -> unit
+(** The chunk-routing program of the case (raises [Trace_error] only on
+    generator bugs — {!validate} guards the parameter space). *)
+
+val compile : ?fuse:bool -> ?instances:int -> t -> Msccl_core.Ir.t
+(** Traces and compiles the case with its own knobs; [fuse]/[instances]
+    override the case's values (the differential oracles compile the same
+    case several ways). Verification is {e off}: the oracle stack owns all
+    checking. *)
+
+val topology : t -> Msccl_topology.Topology.t
+(** The hierarchical preset matching the case's node/GPU shape (what the
+    perf oracle simulates on). *)
+
+val describe : t -> string
+(** One-line human-readable summary. *)
+
+val to_string : t -> string
+(** The replayable seed-file form. *)
+
+val of_string : string -> (t, string) result
+(** Parses {!to_string}'s format and {!validate}s the result. *)
+
+val save : t -> string -> unit
+
+val load : string -> (t, string) result
+(** Reads a seed file; [Error] on unreadable files or invalid cases. *)

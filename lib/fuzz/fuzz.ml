@@ -1,0 +1,156 @@
+module T = Msccl_topology
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_coll rng strategy num_ranks =
+  let root () = Rng.int rng num_ranks in
+  match strategy with
+  | Case.Ring -> (
+      match Rng.int rng 4 with
+      | 0 -> Case.Allgather
+      | 1 -> Case.Allreduce
+      | 2 -> Case.Reduce_scatter
+      | _ -> Case.Broadcast (root ()))
+  | Case.Direct -> (
+      match Rng.int rng 6 with
+      | 0 -> Case.Allgather
+      | 1 -> Case.Alltoall
+      | 2 -> Case.Alltonext
+      | 3 -> Case.Broadcast (root ())
+      | 4 -> Case.Scatter (root ())
+      | _ -> Case.Gather (root ()))
+
+let generate ~seed ~index =
+  let rng = Rng.fork (Rng.create seed) index in
+  let nodes = 1 + Rng.int rng 2 in
+  let gpus_per_node = 2 + Rng.int rng 3 in
+  let num_ranks = nodes * gpus_per_node in
+  let strategy = if Rng.bool rng then Case.Ring else Case.Direct in
+  let coll = gen_coll rng strategy num_ranks in
+  let chunk_factor =
+    match coll with
+    | Case.Allreduce -> num_ranks
+    | Case.Alltoall | Case.Scatter _ | Case.Gather _ -> 1 + Rng.int rng 2
+    | Case.Allgather | Case.Reduce_scatter | Case.Alltonext
+    | Case.Broadcast _ ->
+        1 + Rng.int rng 3
+  in
+  let channels = 1 + Rng.int rng 2 in
+  let c =
+    {
+      Case.seed;
+      index;
+      nodes;
+      gpus_per_node;
+      coll;
+      strategy;
+      ring = Rng.shuffle rng (List.init num_ranks Fun.id);
+      chunk_factor;
+      channels;
+      chan_rot = Rng.int rng channels;
+      proto = Rng.pick rng T.Protocol.all;
+      fuse = Rng.bool rng;
+      instances = 1 + Rng.int rng 2;
+      aggregate = strategy = Case.Direct && Rng.bool rng;
+      detour = strategy = Case.Direct && Rng.bool rng;
+    }
+  in
+  (match Case.validate c with
+  | Ok () -> ()
+  | Error m ->
+      invalid_arg
+        (Printf.sprintf "Fuzz.generate: seed %d case %d invalid: %s" seed
+           index m));
+  c
+
+(* ------------------------------------------------------------------ *)
+(* The run loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  f_case : Case.t;
+  f_failure : Oracle.failure;
+  f_shrunk : Case.t;
+  f_shrunk_failure : Oracle.failure;
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_oracles : Oracle.id list;
+  r_failures : failure list;
+}
+
+let run ?mutate ?(oracles = Oracle.all) ?progress ~seed ~cases () =
+  let failures = ref [] in
+  for index = 0 to cases - 1 do
+    let c = generate ~seed ~index in
+    let outcome = Oracle.run ?mutate ~oracles c in
+    (match outcome with
+    | Ok () -> ()
+    | Error f ->
+        let shrunk = Shrink.shrink ?mutate ~oracle:f.Oracle.oracle c in
+        let shrunk_failure =
+          match Oracle.run ?mutate ~oracles:[ f.Oracle.oracle ] shrunk with
+          | Error sf -> sf
+          | Ok () ->
+              (* The shrinker only accepts still-failing candidates, so the
+                 original case must have reached here unshrunk. *)
+              f
+        in
+        failures :=
+          {
+            f_case = c;
+            f_failure = f;
+            f_shrunk = shrunk;
+            f_shrunk_failure = shrunk_failure;
+          }
+          :: !failures);
+    match progress with
+    | Some p -> p ~index c (match outcome with Ok () -> None | Error f -> Some f)
+    | None -> ()
+  done;
+  {
+    r_seed = seed;
+    r_cases = cases;
+    r_oracles = oracles;
+    r_failures = List.rev !failures;
+  }
+
+let replay ?(oracles = Oracle.all) c = Oracle.run ~oracles c
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  let esc = Msccl_core.Lint.json_escape in
+  Buffer.add_string b
+    (Printf.sprintf "{\"seed\": %d, \"cases\": %d, \"oracles\": [%s],"
+       r.r_seed r.r_cases
+       (String.concat ", "
+          (List.map
+             (fun o -> Printf.sprintf "\"%s\"" (Oracle.id_name o))
+             r.r_oracles)));
+  Buffer.add_string b
+    (Printf.sprintf " \"ok\": %b, \"failures\": [" (r.r_failures = []));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"index\": %d, \"oracle\": \"%s\", \"detail\": \"%s\", \
+            \"case\": \"%s\", \"shrunk\": \"%s\", \"shrunk_detail\": \
+            \"%s\"}"
+           f.f_case.Case.index
+           (Oracle.id_name f.f_failure.Oracle.oracle)
+           (esc f.f_failure.Oracle.detail)
+           (esc (Case.to_string f.f_case))
+           (esc (Case.to_string f.f_shrunk))
+           (esc f.f_shrunk_failure.Oracle.detail)))
+    r.r_failures;
+  Buffer.add_string b "]}";
+  Buffer.contents b

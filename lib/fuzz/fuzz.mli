@@ -1,0 +1,47 @@
+(** The fuzzer: random case generation and the run loop.
+
+    One run is fully determined by its integer seed — every case gets its
+    own {!Rng.fork}ed stream, so case [i] of seed [s] is the same program
+    on every machine and OCaml version. A failing case is shrunk
+    ({!Shrink.shrink}) and reported with both its original and minimized
+    forms; saving the minimized form as a seed file under [test/corpus/]
+    turns a fuzz finding into a permanent regression test. *)
+
+val generate : seed:int -> index:int -> Case.t
+(** The [index]-th case of run [seed]: random cluster shape (2–8 ranks),
+    collective, routing strategy, ring permutation and compilation knobs.
+    The result always satisfies {!Case.validate}. *)
+
+type failure = {
+  f_case : Case.t;  (** As generated. *)
+  f_failure : Oracle.failure;
+  f_shrunk : Case.t;  (** Minimized; equals [f_case] when nothing shrank. *)
+  f_shrunk_failure : Oracle.failure;  (** The shrunk case's own failure. *)
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_oracles : Oracle.id list;
+  r_failures : failure list;  (** In case order; empty = clean run. *)
+}
+
+val run :
+  ?mutate:(Msccl_core.Ir.t -> Msccl_core.Ir.t) ->
+  ?oracles:Oracle.id list ->
+  ?progress:(index:int -> Case.t -> Oracle.failure option -> unit) ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  report
+(** Generates and checks [cases] cases, shrinking every failure; never
+    stops early. [progress] is called once per case (after its oracles
+    ran). [mutate] is threaded through to {!Oracle.run} and
+    {!Shrink.shrink} — the mutation self-tests use it. *)
+
+val replay : ?oracles:Oracle.id list -> Case.t -> (unit, Oracle.failure) result
+(** Runs the oracle stack on a stored case (no shrinking, no mutation). *)
+
+val report_json : report -> string
+(** One JSON object: seed, case count, oracle names, and per-failure
+    records (index, oracle, detail, original and shrunk case texts). *)

@@ -1,0 +1,50 @@
+open Msccl_core
+
+(* Rewrite the first step satisfying [f] (in gpu/tb/step order); [None]
+   when no step matched. *)
+let map_step_once f (ir : Ir.t) =
+  let changed = ref false in
+  let gpus =
+    Array.map
+      (fun (g : Ir.gpu) ->
+        {
+          g with
+          Ir.tbs =
+            Array.map
+              (fun (tb : Ir.tb) ->
+                {
+                  tb with
+                  Ir.steps =
+                    Array.map
+                      (fun (st : Ir.step) ->
+                        if !changed then st
+                        else
+                          match f st with
+                          | Some st' ->
+                              changed := true;
+                              st'
+                          | None -> st)
+                      tb.Ir.steps;
+                })
+              g.Ir.tbs;
+        })
+      ir.Ir.gpus
+  in
+  if !changed then Some { ir with Ir.gpus } else None
+
+let break_fusion (ir : Ir.t) =
+  let drop_reduce (st : Ir.step) =
+    match st.Ir.op with
+    | Instr.Recv_reduce_copy_send ->
+        Some { st with Ir.op = Instr.Recv_copy_send }
+    | _ -> None
+  in
+  let drop_rrc (st : Ir.step) =
+    match st.Ir.op with
+    | Instr.Recv_reduce_copy -> Some { st with Ir.op = Instr.Recv }
+    | _ -> None
+  in
+  match map_step_once drop_reduce ir with
+  | Some ir -> ir
+  | None -> (
+      match map_step_once drop_rrc ir with Some ir -> ir | None -> ir)

@@ -1,0 +1,15 @@
+(** Deliberate IR corruptions for testing the oracle stack itself.
+
+    A fuzzer whose oracles never fire proves nothing; these mutations
+    simulate specific compiler bugs so tests can demand that the stack
+    catches them (and that the shrinker then minimizes the case). *)
+
+val break_fusion : Msccl_core.Ir.t -> Msccl_core.Ir.t
+(** Simulates a broken fusion rule: the first [Recv_reduce_copy_send]
+    becomes [Recv_copy_send] (the fused reduction is dropped), or — when
+    no fully-fused step exists — the first [Recv_reduce_copy] becomes
+    [Recv]. The step counts, connections and dependencies are untouched,
+    so the IR stays structurally valid and executable; only the data it
+    computes is wrong, which is exactly what the execution oracle must
+    catch. Returns the IR unchanged when it contains no reducing receive
+    at all. *)

@@ -1,0 +1,271 @@
+open Msccl_core
+
+type id =
+  | Exec
+  | Equiv
+  | Static
+  | Perf
+  | Roundtrip
+
+let all = [ Exec; Equiv; Static; Perf; Roundtrip ]
+
+let id_name = function
+  | Exec -> "exec"
+  | Equiv -> "equiv"
+  | Static -> "static"
+  | Perf -> "perf"
+  | Roundtrip -> "roundtrip"
+
+let id_of_name = function
+  | "exec" -> Some Exec
+  | "equiv" -> Some Equiv
+  | "static" -> Some Static
+  | "perf" -> Some Perf
+  | "roundtrip" -> Some Roundtrip
+  | _ -> None
+
+type failure = {
+  oracle : id;
+  detail : string;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt "[%s] %s" (id_name f.oracle) f.detail
+
+let fail oracle fmt =
+  Format.kasprintf (fun detail -> Error { oracle; detail }) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Exec: postcondition + numeric differential                          *)
+(* ------------------------------------------------------------------ *)
+
+let elems_per_chunk = 4
+
+let data_seed = 1234
+
+let float_close a b =
+  Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs a)
+
+let check_exec (ir : Ir.t) =
+  match Verify.check_postcondition ir with
+  | Error (m :: _) ->
+      fail Exec "postcondition: %a" Verify.pp_mismatch m
+  | Error [] -> assert false
+  | Ok () ->
+      let st =
+        Executor.Data.run_random ~elems_per_chunk ~seed:data_seed ir
+      in
+      let num_ranks = Ir.num_ranks ir in
+      let bad = ref None in
+      for rank = 0 to num_ranks - 1 do
+        let out = Executor.Data.output st ~rank in
+        Array.iteri
+          (fun index actual ->
+            if !bad = None then
+              match
+                Executor.Data.reference ~elems_per_chunk ~seed:data_seed ir
+                  ~rank ~index
+              with
+              | None -> ()
+              | Some expected -> (
+                  match actual with
+                  | None -> bad := Some (rank, index, "never written")
+                  | Some actual ->
+                      if not (Array.for_all2 (fun a b -> float_close a b)
+                                expected actual)
+                      then
+                        bad :=
+                          Some
+                            ( rank,
+                              index,
+                              Printf.sprintf "got %g, expected %g" actual.(0)
+                                expected.(0) )))
+          out
+      done;
+      (match !bad with
+      | None -> Ok ()
+      | Some (rank, index, what) ->
+          fail Exec "numeric result at rank %d out[%d]: %s" rank index what)
+
+(* ------------------------------------------------------------------ *)
+(* Equiv: fuse on/off and instances k/1                                *)
+(* ------------------------------------------------------------------ *)
+
+let outputs_equal label ir_a ir_b =
+  let st_a = Executor.Symbolic.run_collective ir_a in
+  let st_b = Executor.Symbolic.run_collective ir_b in
+  let bad = ref None in
+  for rank = 0 to Ir.num_ranks ir_a - 1 do
+    let a = Executor.Symbolic.output st_a ~rank in
+    let b = Executor.Symbolic.output st_b ~rank in
+    if Array.length a <> Array.length b then
+      bad := Some (rank, -1, "output buffer sizes differ")
+    else
+      Array.iteri
+        (fun index va ->
+          if !bad = None && not (Option.equal Chunk.equal va b.(index)) then
+            bad :=
+              Some
+                ( rank,
+                  index,
+                  Format.asprintf "%a vs %a"
+                    (Format.pp_print_option Chunk.pp
+                       ~none:(fun fmt () ->
+                         Format.pp_print_string fmt "uninit"))
+                    va
+                    (Format.pp_print_option Chunk.pp
+                       ~none:(fun fmt () ->
+                         Format.pp_print_string fmt "uninit"))
+                    b.(index) ))
+        a
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (rank, index, what) ->
+      fail Equiv "%s differ at rank %d out[%d]: %s" label rank index what
+
+(* Instance k of the blocked layout sees the logical input chunk (q, i) as
+   (q, i + k * in_chunks) and writes its results to output slice k — the
+   contract {!Msccl_core.Instances.blocked} establishes. *)
+let check_instances base repl ~instances =
+  let coll = base.Ir.collective in
+  let in_chunks = Collective.input_chunks coll in
+  let out_size = Collective.output_buffer_size coll in
+  let shift k c =
+    match Chunk.inputs c with
+    | None -> c
+    | Some ids ->
+        Chunk.reduce_many
+          (List.map
+             (fun (q, i) -> Chunk.input ~rank:q ~index:(i + (k * in_chunks)))
+             ids)
+  in
+  let st_b = Executor.Symbolic.run_collective base in
+  let st_r = Executor.Symbolic.run_collective repl in
+  let bad = ref None in
+  for rank = 0 to Ir.num_ranks base - 1 do
+    let out_b = Executor.Symbolic.output st_b ~rank in
+    let out_r = Executor.Symbolic.output st_r ~rank in
+    for k = 0 to instances - 1 do
+      for i = 0 to out_size - 1 do
+        if !bad = None then begin
+          let expected = Option.map (shift k) out_b.(i) in
+          let actual = out_r.((k * out_size) + i) in
+          if not (Option.equal Chunk.equal expected actual) then
+            bad := Some (rank, k, i)
+        end
+      done
+    done
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (rank, k, i) ->
+      fail Equiv
+        "instance %d of %d disagrees with the base compilation at rank %d \
+         out[%d]"
+        k instances rank i
+
+let check_equiv ~compile (c : Case.t) =
+  let ( let* ) = Result.bind in
+  let* () =
+    outputs_equal "fused and unfused outputs"
+      (compile ~fuse:true ~instances:c.Case.instances)
+      (compile ~fuse:false ~instances:c.Case.instances)
+  in
+  if c.Case.instances = 1 then Ok ()
+  else
+    check_instances
+      (compile ~fuse:c.Case.fuse ~instances:1)
+      (compile ~fuse:c.Case.fuse ~instances:c.Case.instances)
+      ~instances:c.Case.instances
+
+(* ------------------------------------------------------------------ *)
+(* Static: verify + races + lint                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_static (ir : Ir.t) =
+  match Verify.check ir with
+  | Error msg -> fail Static "verify: %s" msg
+  | Ok () -> (
+      match Races.find ir with
+      | race :: _ -> fail Static "race: %a" Races.pp_race race
+      | [] -> (
+          match Lint.errors (Lint.run ir) with
+          | d :: _ -> fail Static "lint: %a" Lint.pp_diagnostic d
+          | [] -> Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Perf: simulated time must respect the lower-bound certificate       *)
+(* ------------------------------------------------------------------ *)
+
+let check_perf (c : Case.t) (ir : Ir.t) =
+  let topo = Case.topology c in
+  let buffer_bytes = float_of_int Perfcheck.default_size_bytes in
+  let sim =
+    Simulator.run_buffer ~topo ~buffer_bytes ~check_occupancy:false ir
+  in
+  let pc = Perfcheck.analyze ~topo ir in
+  let lb = Perfcheck.lb_total pc.Perfcheck.bound in
+  if sim.Simulator.kernel_time < lb *. (1. -. 1e-6) then
+    fail Perf
+      "simulated kernel time %.3g us beats the lower bound %.3g us \
+       (latency %.3g + bandwidth %.3g + compute %.3g)"
+      (sim.Simulator.kernel_time *. 1e6)
+      (lb *. 1e6)
+      (pc.Perfcheck.bound.Perfcheck.lb_latency *. 1e6)
+      (pc.Perfcheck.bound.Perfcheck.lb_bandwidth *. 1e6)
+      (pc.Perfcheck.bound.Perfcheck.lb_compute *. 1e6)
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Roundtrip: Ir -> Xml -> Ir is lossless and prints stably            *)
+(* ------------------------------------------------------------------ *)
+
+let check_roundtrip (ir : Ir.t) =
+  let s1 = Xml.to_string ir in
+  let ir2 = Xml.of_string s1 in
+  if not (Ir.equal ir ir2) then
+    fail Roundtrip "parsed IR differs from the printed one"
+  else
+    let s2 = Xml.to_string ir2 in
+    if not (String.equal s1 s2) then
+      fail Roundtrip "second print differs from the first"
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
+  (* [mutate] models a fusion-pass bug: it only ever corrupts IR compiled
+     with fusion enabled. *)
+  let compile ~fuse ~instances =
+    let ir = Case.compile ~fuse ~instances c in
+    if fuse then mutate ir else ir
+  in
+  let primary =
+    lazy (compile ~fuse:c.Case.fuse ~instances:c.Case.instances)
+  in
+  let guarded oracle f =
+    try f () with
+    | Executor.Exec_error m -> fail oracle "executor: %s" m
+    | Program.Trace_error m -> fail oracle "trace: %s" m
+    | Xml.Parse_error m -> fail oracle "xml: %s" m
+    | Simulator.Sim_error m -> fail oracle "simulator: %s" m
+    | Instances.Replication_error m -> fail oracle "replication: %s" m
+    | Failure m -> fail oracle "%s" m
+    | Invalid_argument m -> fail oracle "invalid argument: %s" m
+  in
+  let check oracle =
+    guarded oracle (fun () ->
+        match oracle with
+        | Exec -> check_exec (Lazy.force primary)
+        | Equiv -> check_equiv ~compile c
+        | Static -> check_static (Lazy.force primary)
+        | Perf -> check_perf c (Lazy.force primary)
+        | Roundtrip -> check_roundtrip (Lazy.force primary))
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | oracle :: rest -> (
+        match check oracle with Ok () -> go rest | Error _ as e -> e)
+  in
+  go oracles

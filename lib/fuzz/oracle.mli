@@ -1,0 +1,53 @@
+(** The differential oracle stack: everything the fuzzer knows how to
+    cross-check about one compiled case.
+
+    Each oracle is independent and named, so failures are attributable and
+    the shrinker can demand that a candidate still fails the {e same}
+    oracle (shrinking must not wander from one bug to another). *)
+
+type id =
+  | Exec
+      (** Symbolic postcondition check plus a numeric end-to-end run
+          compared against the collective's reference result. *)
+  | Equiv
+      (** Differential compilation: fusion-on vs fusion-off, and
+          [instances = k] vs [instances = 1], must produce equivalent
+          final output buffers. *)
+  | Static
+      (** {!Msccl_core.Verify.check}, {!Msccl_core.Races.find} and
+          {!Msccl_core.Lint.run} must all report clean (lint: no
+          error-severity findings) on compiler output. *)
+  | Perf
+      (** The simulated completion time can never beat the
+          {!Msccl_core.Perfcheck} α–β–γ lower-bound certificate. *)
+  | Roundtrip
+      (** [Ir -> Xml -> Ir] is lossless ({!Msccl_core.Ir.equal}) and the
+          second print is byte-identical. *)
+
+val all : id list
+(** In checking order: [Exec; Equiv; Static; Perf; Roundtrip]. *)
+
+val id_name : id -> string
+(** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["perf"],
+    ["roundtrip"]. *)
+
+val id_of_name : string -> id option
+
+type failure = {
+  oracle : id;
+  detail : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val run :
+  ?mutate:(Msccl_core.Ir.t -> Msccl_core.Ir.t) ->
+  ?oracles:id list ->
+  Case.t ->
+  (unit, failure) result
+(** Compiles the case and runs the selected oracles in order, stopping at
+    the first failure. Any exception escaping a check (trace error,
+    executor deadlock, parse error...) is converted into that oracle's
+    failure. [mutate] is applied to every IR compiled with fusion {e on} —
+    it models a bug in the fusion pass, which is what the self-tests
+    inject via {!Mutate.break_fusion}. *)

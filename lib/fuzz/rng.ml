@@ -1,0 +1,53 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). Chosen for statelessness across OCaml
+   versions, not for cryptographic strength. *)
+
+type t = { mutable s : int64; seed : int64 }
+
+let mix z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let s = mix (Int64.of_int seed) in
+  { s; seed = s }
+
+let fork t k =
+  (* Derive a fresh state from the original seed and the stream index so
+     forks are independent of how much of [t]'s stream was consumed. *)
+  let s = mix (Int64.add t.seed (Int64.mul (Int64.of_int k) 0xD1342543DE82EF95L)) in
+  { s; seed = s }
+
+let next t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  mix t.s
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let bool t = Int64.equal (Int64.logand (next t) 1L) 1L
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

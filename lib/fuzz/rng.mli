@@ -1,0 +1,28 @@
+(** A small deterministic PRNG (splitmix64) for the fuzzer.
+
+    The standard library's [Random] changed algorithms between OCaml 4 and
+    OCaml 5, so seeds would not reproduce across the CI matrix. This
+    generator is self-contained and produces the same stream everywhere,
+    which is what makes failing seeds replayable. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded from an integer (any value, including 0). *)
+
+val fork : t -> int -> t
+(** [fork t k] is an independent generator derived from [t]'s seed and the
+    stream index [k], without consuming [t]'s stream. Used to give every
+    fuzz case its own decorrelated stream. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates permutation. *)

@@ -1,0 +1,62 @@
+module T = Msccl_topology
+
+let remap_root coll num_ranks =
+  let clamp r = min r (num_ranks - 1) in
+  match coll with
+  | Case.Broadcast r -> Case.Broadcast (clamp r)
+  | Case.Scatter r -> Case.Scatter (clamp r)
+  | Case.Gather r -> Case.Gather (clamp r)
+  | ( Case.Allgather | Case.Allreduce | Case.Reduce_scatter | Case.Alltoall
+    | Case.Alltonext ) as c ->
+      c
+
+(* Candidates in decreasing order of payoff: dropping ranks and chunks
+   shrinks every later stage, knob resets just simplify the replay. *)
+let candidates (c : Case.t) =
+  let acc = ref [] in
+  let add c' = if c' <> c then acc := c' :: !acc in
+  if c.instances > 1 then add { c with instances = 1 };
+  let drop_shape nodes gpus_per_node =
+    let r' = nodes * gpus_per_node in
+    if r' >= 2 then
+      add
+        {
+          c with
+          nodes;
+          gpus_per_node;
+          ring = List.filter (fun q -> q < r') c.ring;
+          coll = remap_root c.coll r';
+          chunk_factor = (if c.coll = Case.Allreduce then r' else c.chunk_factor);
+        }
+  in
+  if c.nodes > 1 then drop_shape (c.nodes - 1) c.gpus_per_node;
+  if c.gpus_per_node > 1 then drop_shape c.nodes (c.gpus_per_node - 1);
+  if c.coll <> Case.Allreduce && c.chunk_factor > 1 then begin
+    add { c with chunk_factor = 1 };
+    add { c with chunk_factor = c.chunk_factor - 1 }
+  end;
+  if c.detour then add { c with detour = false };
+  if c.strategy = Case.Direct && not c.aggregate then
+    add { c with aggregate = true };
+  if c.channels > 1 then add { c with channels = 1; chan_rot = 0 };
+  if c.chan_rot > 0 then add { c with chan_rot = 0 };
+  if c.proto <> T.Protocol.Simple then add { c with proto = T.Protocol.Simple };
+  add { c with ring = List.init (Case.num_ranks c) Fun.id };
+  List.rev !acc
+
+let still_fails ?mutate ~oracle c =
+  Result.is_ok (Case.validate c)
+  &&
+  match Oracle.run ?mutate ~oracles:[ oracle ] c with
+  | Error f -> f.Oracle.oracle = oracle
+  | Ok () -> false
+
+let shrink ?mutate ~oracle c =
+  let rec fixpoint c =
+    match
+      List.find_opt (still_fails ?mutate ~oracle) (candidates c)
+    with
+    | Some smaller -> fixpoint smaller
+    | None -> c
+  in
+  fixpoint c

@@ -1,0 +1,17 @@
+(** Greedy case minimization.
+
+    Given a case that fails some oracle, repeatedly tries structurally
+    smaller variants (fewer ranks, fewer chunks, one channel, identity
+    ring, Simple protocol, no replication...) and keeps any variant that
+    still fails the {e same} oracle, until no candidate shrinks further.
+    Every candidate goes through {!Case.validate}, so the result is always
+    a replayable case. *)
+
+val shrink :
+  ?mutate:(Msccl_core.Ir.t -> Msccl_core.Ir.t) ->
+  oracle:Oracle.id ->
+  Case.t ->
+  Case.t
+(** [shrink ~oracle c] assumes [c] currently fails [oracle] (under the
+    same [mutate] the caller passed to {!Oracle.run}) and returns a
+    minimal failing variant — possibly [c] itself. *)

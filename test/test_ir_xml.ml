@@ -140,6 +140,94 @@ let test_file_io () =
       let back = Xml.load path in
       Alcotest.(check bool) "file round-trip" true (Testutil.ir_equal ir back))
 
+(* Registry-wide round-trip: every algorithm the registry can build, in
+   several configurations (including instances=2, whose blocked
+   replication wraps the collective in a Custom — the shape-only case of
+   the serializer), must satisfy Ir -> Xml -> Ir losslessness under
+   Ir.equal and print stably. Algorithms whose preconditions reject a
+   configuration (e.g. hierarchical schedules on one node) are skipped,
+   but most of the registry must be exercised. *)
+let test_registry_roundtrip () =
+  let module H = Msccl_harness in
+  let configs =
+    [
+      ("1x8", { H.Registry.default_params with H.Registry.verify = false });
+      ( "2x8",
+        {
+          H.Registry.default_params with
+          H.Registry.nodes = 2;
+          verify = false;
+        } );
+      ( "1x8 r2",
+        {
+          H.Registry.default_params with
+          H.Registry.instances = 2;
+          verify = false;
+        } );
+    ]
+  in
+  let built = ref 0 in
+  List.iter
+    (fun (spec : H.Registry.spec) ->
+      List.iter
+        (fun (label, params) ->
+          match spec.H.Registry.build params with
+          | exception _ -> ()
+          | ir ->
+              incr built;
+              let s = Xml.to_string ir in
+              let back =
+                try Xml.of_string s
+                with Xml.Parse_error m ->
+                  Alcotest.failf "%s (%s): does not parse back: %s"
+                    spec.H.Registry.name label m
+              in
+              if not (Ir.equal ir back) then
+                Alcotest.failf "%s (%s): round-trip changed the IR"
+                  spec.H.Registry.name label;
+              if not (String.equal s (Xml.to_string back)) then
+                Alcotest.failf "%s (%s): second print differs"
+                  spec.H.Registry.name label)
+        configs)
+    H.Registry.all;
+  if !built < 12 then
+    Alcotest.failf "only %d registry builds succeeded; sweep too weak" !built
+
+let test_ir_equal_discriminates () =
+  let ir = A.Ring_allreduce.ir ~num_ranks:4 () in
+  Alcotest.(check bool) "reflexive" true (Ir.equal ir ir);
+  Alcotest.(check bool) "name matters" false
+    (Ir.equal ir { ir with Ir.name = "other" });
+  Alcotest.(check bool) "proto matters" false
+    (Ir.equal ir (Ir.with_proto ir T.Protocol.LL));
+  let dropped_step =
+    {
+      ir with
+      Ir.gpus =
+        Array.mapi
+          (fun i (g : Ir.gpu) ->
+            if i <> 0 then g
+            else
+              {
+                g with
+                Ir.tbs =
+                  Array.mapi
+                    (fun j (tb : Ir.tb) ->
+                      if j <> 0 then tb
+                      else
+                        {
+                          tb with
+                          Ir.steps =
+                            Array.sub tb.Ir.steps 0
+                              (Array.length tb.Ir.steps - 1);
+                        })
+                    g.Ir.tbs;
+              })
+          ir.Ir.gpus;
+    }
+  in
+  Alcotest.(check bool) "steps matter" false (Ir.equal ir dropped_step)
+
 let () =
   Alcotest.run "ir-xml"
     [
@@ -155,6 +243,8 @@ let () =
           roundtrip "broadcast root 2"
             (A.Broadcast_ring.ir ~num_ranks:5 ~root:2 ~chunk_factor:2 ());
           Testutil.tc "file io" test_file_io;
+          Testutil.tc "registry-wide round-trip" test_registry_roundtrip;
+          Testutil.tc "Ir.equal discriminates" test_ir_equal_discriminates;
         ] );
       ( "validation",
         [

@@ -623,6 +623,53 @@ let test_perf_rules_registered () =
              ]))
     Lint.rules
 
+(* The bound is a certificate, so it must sit below the simulator for
+   every algorithm the registry can build: a simulated execution models
+   strictly more constraints (thread-block serialization, FIFO slots,
+   launch-free kernel time still includes α per message) than the
+   α–β–γ floor. Swept table-driven across the registry on two cluster
+   shapes. *)
+let test_bound_never_exceeds_simulation () =
+  let configs = [ (1, 8); (2, 8) ] in
+  let analyzed = ref 0 in
+  List.iter
+    (fun (spec : H.Registry.spec) ->
+      List.iter
+        (fun (nodes, gpus_per_node) ->
+          let params =
+            {
+              H.Registry.default_params with
+              H.Registry.nodes;
+              gpus_per_node;
+              verify = false;
+            }
+          in
+          match spec.H.Registry.build params with
+          | exception _ -> ()
+          | ir -> (
+              let topo = T.Presets.hierarchical ~nodes ~gpus_per_node () in
+              let buffer_bytes = float_of_int Perfcheck.default_size_bytes in
+              match
+                Simulator.run_buffer ~topo ~buffer_bytes
+                  ~check_occupancy:false ir
+              with
+              | exception Simulator.Sim_error _ -> ()
+              | sim ->
+                  incr analyzed;
+                  let pc = Perfcheck.analyze ~topo ir in
+                  let lb = Perfcheck.lb_total pc.Perfcheck.bound in
+                  if sim.Simulator.kernel_time < lb *. (1. -. 1e-6) then
+                    Alcotest.failf
+                      "%s on %dx%d: simulated kernel %.3f us beats the \
+                       lower bound %.3f us"
+                      spec.H.Registry.name nodes gpus_per_node
+                      (sim.Simulator.kernel_time *. 1e6)
+                      (lb *. 1e6)))
+        configs)
+    H.Registry.all;
+  if !analyzed < 12 then
+    Alcotest.failf "only %d registry configurations simulated" !analyzed
+
 let () =
   Alcotest.run "perfcheck"
     [
@@ -675,5 +722,7 @@ let () =
             test_run_perf_sweep;
           Alcotest.test_case "report json well-formed" `Quick
             test_report_json_well_formed;
+          Alcotest.test_case "bound never exceeds simulation" `Quick
+            test_bound_never_exceeds_simulation;
         ] );
     ]
