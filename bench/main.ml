@@ -116,25 +116,32 @@ let run_micro () =
     tests;
   print_newline ()
 
+(* Figures are independent sweeps returning pure report values, so they
+   regenerate in parallel over the domain pool; printing stays in
+   definition order. *)
 let run_figures () =
+  let figs =
+    Msccl_parallel.Pool.map
+      (fun (_, f) ->
+        let t0 = Unix.gettimeofday () in
+        let fig = f () in
+        (fig, Unix.gettimeofday () -. t0))
+      H.Figures.all
+  in
   List.iter
-    (fun (_, f) ->
-      let t0 = Unix.gettimeofday () in
-      let fig = f () in
+    (fun (fig, dt) ->
       H.Report.print Format.std_formatter fig;
       print_string (H.Report.summarize fig);
-      Printf.printf "  (regenerated in %.1fs)\n\n%!"
-        (Unix.gettimeofday () -. t0))
-    H.Figures.all
+      Printf.printf "  (regenerated in %.1fs)\n\n%!" dt)
+    figs
 
 let run_ablations () =
   List.iter
-    (fun (_, f) ->
-      let fig = f () in
+    (fun fig ->
       H.Report.print Format.std_formatter fig;
       print_string (H.Report.summarize fig);
       print_newline ())
-    H.Ablations.all
+    (Msccl_parallel.Pool.map (fun (_, f) -> f ()) H.Ablations.all)
 
 let run_tuner () =
   Printf.printf "== tuner: automatic size-range selection (paper §6) ==\n";
@@ -184,8 +191,204 @@ let run_perfcheck () =
   close_out oc;
   Printf.printf "wrote BENCH_perfcheck.json\n%!"
 
+(* ------------------------------------------------------------------ *)
+(* Scale benchmark: the full pipeline at cluster sizes                  *)
+(* ------------------------------------------------------------------ *)
+
+type scale_point = {
+  sp_algo : string;
+  sp_ranks : int;
+  sp_compile_s : float;
+  sp_verify_s : float;
+  sp_races_s : float;
+  sp_simulate_s : float;
+  sp_total_s : float;
+  sp_events : int;
+}
+
+let scale_file = "BENCH_scale.json"
+
+let wall = Unix.gettimeofday
+
+(* One pipeline point: compile (no inline verify), then postcondition
+   verification, race detection and a 1 MB cluster simulation, each timed
+   separately. *)
+let scale_point sp_algo sp_ranks build =
+  Printf.printf "%-6s %5d ranks: %!" sp_algo sp_ranks;
+  let t0 = wall () in
+  let ir = build () in
+  let t1 = wall () in
+  (match Verify.check_postcondition ir with
+  | Ok () -> ()
+  | Error _ -> failwith (sp_algo ^ ": postcondition mismatch at scale"));
+  let t2 = wall () in
+  let races = Races.find ir in
+  if races <> [] then failwith (sp_algo ^ ": races found at scale");
+  let t3 = wall () in
+  let topo = T.Presets.ndv4 ~nodes:(sp_ranks / 8) in
+  let r =
+    Simulator.run_buffer ~topo ~buffer_bytes:mib ~check_occupancy:false ir
+  in
+  let t4 = wall () in
+  let p =
+    {
+      sp_algo;
+      sp_ranks;
+      sp_compile_s = t1 -. t0;
+      sp_verify_s = t2 -. t1;
+      sp_races_s = t3 -. t2;
+      sp_simulate_s = t4 -. t3;
+      sp_total_s = t4 -. t0;
+      sp_events = r.Simulator.events;
+    }
+  in
+  Printf.printf
+    "compile %.2fs  verify %.2fs  races %.2fs  simulate %.2fs  total %.2fs \
+     (%d steps, %.0f events/s)\n%!"
+    p.sp_compile_s p.sp_verify_s p.sp_races_s p.sp_simulate_s p.sp_total_s
+    (Ir.num_steps ir)
+    (float_of_int p.sp_events /. p.sp_simulate_s);
+  p
+
+let scale_points ~quick =
+  let ranks = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
+  List.concat_map
+    (fun n ->
+      [
+        ( "ring", n,
+          fun () ->
+            A.Ring_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
+              ~num_ranks:n () );
+        ( "allpairs", n,
+          fun () ->
+            A.Allpairs_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
+              ~num_ranks:n () );
+        ( "hier", n,
+          fun () ->
+            A.Hierarchical_allreduce.ir ~proto:T.Protocol.Simple
+              ~verify:false ~nodes:(n / 8) ~gpus_per_node:8 () );
+      ])
+    ranks
+
+let point_json p =
+  Printf.sprintf
+    "{\"algo\":\"%s\",\"ranks\":%d,\"compile_s\":%.3f,\"verify_s\":%.3f,\
+     \"races_s\":%.3f,\"simulate_s\":%.3f,\"total_s\":%.3f,\"events\":%d,\
+     \"events_per_s\":%.0f}"
+    p.sp_algo p.sp_ranks p.sp_compile_s p.sp_verify_s p.sp_races_s
+    p.sp_simulate_s p.sp_total_s p.sp_events
+    (float_of_int p.sp_events /. p.sp_simulate_s)
+
+(* Minimal extraction from our own fixed serialization: every point object
+   starts with {"algo": and carries a "total_s" field before its '}'. *)
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then raise Not_found
+    else if String.sub s i m = sub then i
+    else go (i + 1)
+  in
+  go from
+
+let baseline_points path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let pts = ref [] in
+    let i = ref 0 in
+    (try
+       while true do
+         let start = find_sub s "{\"algo\":\"" !i in
+         let stop = String.index_from s start '}' in
+         let frag = String.sub s start (stop - start) in
+         i := stop;
+         let field name conv =
+           let tag = Printf.sprintf "\"%s\":" name in
+           let from = find_sub frag tag 0 + String.length tag in
+           let upto = ref from in
+           while
+             !upto < String.length frag
+             && (match frag.[!upto] with
+                | '0' .. '9' | '.' | '-' | 'e' -> true
+                | _ -> false)
+           do
+             incr upto
+           done;
+           conv (String.sub frag from (!upto - from))
+         in
+         let algo =
+           let from = start + String.length "{\"algo\":\"" in
+           String.sub s from (String.index_from s from '"' - from)
+         in
+         pts := (algo, field "ranks" int_of_string, field "total_s" float_of_string) :: !pts
+       done
+     with Not_found -> ());
+    List.rev !pts
+  end
+
+let run_scale ~quick ~check () =
+  let baseline = if check then baseline_points scale_file else [] in
+  Printf.printf "== scale: full pipeline at cluster sizes%s ==\n%!"
+    (if quick then " (quick)" else "");
+  let points =
+    List.map (fun (a, n, build) -> scale_point a n build) (scale_points ~quick)
+  in
+  (* Parallel speedup of the registry sweep; on a single-core host this
+     honestly reports ~1x. *)
+  let t0 = wall () in
+  let s1 = H.Lint_sweep.run ~jobs:1 () in
+  let t1 = wall () in
+  let s8 = H.Lint_sweep.run ~jobs:8 () in
+  let t2 = wall () in
+  if s1 <> s8 then failwith "registry sweep: jobs=1 and jobs=8 outputs differ";
+  let jobs1_s = t1 -. t0 and jobs8_s = t2 -. t1 in
+  Printf.printf "registry sweep: jobs=1 %.2fs, jobs=8 %.2fs (%.2fx, outputs identical)\n%!"
+    jobs1_s jobs8_s (jobs1_s /. jobs8_s);
+  let oc = open_out scale_file in
+  Printf.fprintf oc
+    "{\"benchmark\":\"scale\",\"quick\":%b,\"points\":[%s],\
+     \"registry_sweep\":{\"jobs1_s\":%.3f,\"jobs8_s\":%.3f,\"speedup\":%.3f}}\n"
+    quick
+    (String.concat "," (List.map point_json points))
+    jobs1_s jobs8_s (jobs1_s /. jobs8_s);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" scale_file;
+  if check then begin
+    let tolerance = 1.25 in
+    let regressed =
+      List.filter_map
+        (fun p ->
+          match
+            List.find_opt
+              (fun (a, n, _) -> a = p.sp_algo && n = p.sp_ranks)
+              baseline
+          with
+          | Some (_, _, base) when p.sp_total_s > base *. tolerance ->
+              Some (p, base)
+          | Some _ | None -> None)
+        points
+    in
+    List.iter
+      (fun (p, base) ->
+        Printf.printf
+          "REGRESSION %s@%d: %.2fs vs baseline %.2fs (>%.0f%%)\n" p.sp_algo
+          p.sp_ranks p.sp_total_s base
+          ((tolerance -. 1.) *. 100.))
+      regressed;
+    if baseline = [] then
+      Printf.printf "no committed baseline points; check skipped\n%!"
+    else if regressed = [] then Printf.printf "within %.0f%% of baseline\n%!"
+        ((tolerance -. 1.) *. 100.)
+    else exit 1
+  end
+
 let () =
   let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  let has flag =
+    Array.exists (fun a -> a = flag) Sys.argv
+  in
   match which with
   | Some "micro" -> run_micro ()
   | Some "figures" -> run_figures ()
@@ -193,9 +396,10 @@ let () =
   | Some "tuner" -> run_tuner ()
   | Some "e2e" -> run_e2e ()
   | Some "perfcheck" -> run_perfcheck ()
+  | Some "scale" -> run_scale ~quick:(has "--quick") ~check:(has "--check") ()
   | Some other ->
       Printf.eprintf
-        "unknown selector %S (expected micro|figures|ablations|tuner|e2e|perfcheck)\n"
+        "unknown selector %S (expected micro|figures|ablations|tuner|e2e|perfcheck|scale)\n"
         other;
       exit 1
   | None ->
@@ -204,4 +408,5 @@ let () =
       run_ablations ();
       run_tuner ();
       run_e2e ();
-      run_perfcheck ()
+      run_perfcheck ();
+      run_scale ~quick:false ~check:false ()

@@ -107,6 +107,15 @@ let size_arg =
   let doc = "Buffer size, e.g. 32MB." in
   Arg.(value & opt size_conv (1024. *. 1024.) & info [ "size"; "s" ] ~docv:"SIZE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel sweeps (registry sweeps, fuzz batches). \
+     Defaults to $(b,MSCCL_JOBS) when set, else the runtime's recommended \
+     domain count. Output is identical for any value; 1 disables \
+     parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let build_params nodes gpus channels instances proto chunk_factor no_verify =
   {
     H.Registry.nodes;
@@ -260,8 +269,8 @@ let lint_cmd =
     else Format.printf "%s@.%a" (Ir.summary ir) Lint.pp ds;
     if Lint.has_errors ds then finding_error else ok
   in
-  let sweep ~json () =
-    let entries = H.Lint_sweep.run () in
+  let sweep ~json ?jobs () =
+    let entries = H.Lint_sweep.run ?jobs () in
     if json then begin
       let one (e : H.Lint_sweep.entry) =
         let status, diags =
@@ -292,9 +301,10 @@ let lint_cmd =
       entries;
     if H.Lint_sweep.clean entries then ok else finding_error
   in
-  let run file algo all nodes gpus channels instances proto chunk_factor json =
+  let run file algo all nodes gpus channels instances proto chunk_factor json
+      jobs =
     match (all, file, algo) with
-    | true, _, _ -> sweep ~json ()
+    | true, _, _ -> sweep ~json ?jobs ()
     | false, Some f, _ -> (
         match Xml.load f with
         | exception Xml.Parse_error m ->
@@ -324,7 +334,7 @@ let lint_cmd =
     Term.(
       const run $ file_arg $ algo_opt_arg $ all_arg $ nodes_arg $ gpus_arg
       $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
-      $ json_arg)
+      $ json_arg $ jobs_arg)
 
 let analyze_cmd =
   let file_arg =
@@ -364,8 +374,8 @@ let analyze_cmd =
         end;
         ok
   in
-  let sweep ~json ~size_bytes () =
-    let entries = H.Lint_sweep.run_perf ~size_bytes () in
+  let sweep ~json ~size_bytes ?jobs () =
+    let entries = H.Lint_sweep.run_perf ?jobs ~size_bytes () in
     if json then begin
       let one (e : H.Lint_sweep.perf_entry) =
         let body =
@@ -390,10 +400,11 @@ let analyze_cmd =
     else Format.printf "%a@." H.Lint_sweep.pp_perf entries;
     ok
   in
-  let run file algo all topo channels instances proto chunk_factor size json =
+  let run file algo all topo channels instances proto chunk_factor size json
+      jobs =
     let size_bytes = int_of_float size in
     match (all, file, algo) with
-    | true, _, _ -> sweep ~json ~size_bytes ()
+    | true, _, _ -> sweep ~json ~size_bytes ?jobs ()
     | false, _, _ -> (
         match H.Registry.parse_topology topo with
         | Error msg ->
@@ -434,7 +445,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ algo_opt_arg $ all_arg $ topo_arg
       $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
-      $ size_arg $ json_arg)
+      $ size_arg $ json_arg $ jobs_arg)
 
 let show_cmd =
   let stats_arg =
@@ -669,7 +680,7 @@ let fuzz_cmd =
         F.Case.save f.F.Fuzz.f_shrunk (base ^ ".case"))
       r.F.Fuzz.r_failures
   in
-  let run seed cases oracle_names json out_dir replays mutate_fusion =
+  let run seed cases oracle_names json out_dir replays mutate_fusion jobs =
     match resolve_oracles oracle_names with
     | Error msg ->
         prerr_endline msg;
@@ -678,7 +689,7 @@ let fuzz_cmd =
         if replays <> [] then replay_files ~oracles replays
         else begin
           let mutate = if mutate_fusion then Some F.Mutate.break_fusion else None in
-          let report = F.Fuzz.run ?mutate ~oracles ~seed ~cases () in
+          let report = F.Fuzz.run ?jobs ?mutate ~oracles ~seed ~cases () in
           Option.iter (fun dir -> save_failures dir report) out_dir;
           if json then print_endline (F.Fuzz.report_json report)
           else begin
@@ -708,7 +719,7 @@ let fuzz_cmd =
           2 on unusable input.")
     Term.(
       const run $ seed_arg $ cases_arg $ oracle_arg $ json_arg $ out_dir_arg
-      $ replay_arg $ mutate_arg)
+      $ replay_arg $ mutate_arg $ jobs_arg)
 
 let figures_cmd =
   let which_arg =

@@ -5,8 +5,9 @@ let no_ch ~hop:_ = None
 let ring_reduce_scatter prog ~ranks ?(buf = Buffer_id.Input) ~offset ~count
     ?stride ?(ch = no_ch) () =
   let stride = Option.value stride ~default:count in
-  let r_len = List.length ranks in
-  let nth i = List.nth ranks (i mod r_len) in
+  let ranks = Array.of_list ranks in
+  let r_len = Array.length ranks in
+  let nth i = ranks.(i mod r_len) in
   for r = 0 to r_len - 1 do
     let index = offset + (r * stride) in
     let c =
@@ -22,8 +23,9 @@ let ring_reduce_scatter prog ~ranks ?(buf = Buffer_id.Input) ~offset ~count
 let ring_all_gather prog ~ranks ?(buf = Buffer_id.Input) ~offset ~count
     ?stride ?(ch = no_ch) ?(hop_base = 0) () =
   let stride = Option.value stride ~default:count in
-  let r_len = List.length ranks in
-  let nth i = List.nth ranks (i mod r_len) in
+  let ranks = Array.of_list ranks in
+  let r_len = Array.length ranks in
+  let nth i = ranks.(i mod r_len) in
   for r = 0 to r_len - 1 do
     let index = offset + (r * stride) in
     let c = ref (Program.chunk prog ~rank:(nth r) buf ~index ~count ()) in

@@ -119,36 +119,59 @@ let sum_over_ranks t ~index =
   Chunk.reduce_many
     (List.init t.num_ranks (fun q -> Chunk.input ~rank:q ~index))
 
-(* Postcondition of the (possibly shared) output buffer. *)
-let postcondition t ~rank ~index =
+(* Building a sum is O(num_ranks); postconditions of the reduction
+   collectives query the same per-index sums for every rank, so a bulk
+   checker (Verify) uses this memoized variant to stay O(size^2) instead of
+   O(size^2 * ranks) on AllReduce. *)
+let sum_over_ranks_cached t =
+  let cache = Hashtbl.create 64 in
+  fun ~index ->
+    match Hashtbl.find_opt cache index with
+    | Some c -> c
+    | None ->
+        let c = sum_over_ranks t ~index in
+        Hashtbl.add cache index c;
+        c
+
+(* Postcondition of the (possibly shared) output buffer, parameterized
+   over the sum builder so bulk checkers can share per-index sums. *)
+let postcondition_with t ~sum ~rank ~index =
   let c = t.chunk_factor in
   let size = output_buffer_size t in
   if index < 0 || index >= size then
     invalid_arg "Collective.postcondition: index out of range";
   match t.kind with
-  | Allreduce -> Some (sum_over_ranks t ~index)
+  | Allreduce -> Some (sum ~index)
   | Allgather -> Some (Chunk.input ~rank:(index / c) ~index:(index mod c))
   | Reduce_scatter ->
       if t.inplace then
         (* The shared buffer is R*C wide; only rank's own segment is
            constrained. *)
         if index >= rank * c && index < (rank + 1) * c then
-          Some (sum_over_ranks t ~index)
+          Some (sum ~index)
         else None
-      else Some (sum_over_ranks t ~index:((rank * c) + index))
+      else Some (sum ~index:((rank * c) + index))
   | Alltoall ->
       (* out[j*C + i] on rank r held chunk (r*C + i) of rank j's input. *)
       Some (Chunk.input ~rank:(index / c) ~index:((rank * c) + (index mod c)))
   | Alltonext ->
       if rank = 0 then None else Some (Chunk.input ~rank:(rank - 1) ~index)
   | Broadcast root -> Some (Chunk.input ~rank:root ~index)
-  | Reduce root -> if rank = root then Some (sum_over_ranks t ~index) else None
+  | Reduce root -> if rank = root then Some (sum ~index) else None
   | Gather root ->
       if rank = root then
         Some (Chunk.input ~rank:(index / c) ~index:(index mod c))
       else None
   | Scatter root -> Some (Chunk.input ~rank:root ~index:((rank * c) + index))
   | Custom cu -> cu.expected ~rank ~index
+
+let postcondition t ~rank ~index =
+  postcondition_with t ~sum:(fun ~index -> sum_over_ranks t ~index) ~rank
+    ~index
+
+let postcondition_fn t =
+  let sum = sum_over_ranks_cached t in
+  fun ~rank ~index -> postcondition_with t ~sum ~rank ~index
 
 let equal_shape a b =
   a.num_ranks = b.num_ranks && a.chunk_factor = b.chunk_factor

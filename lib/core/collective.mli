@@ -92,6 +92,12 @@ val precondition : t -> rank:int -> index:int -> Chunk.t
 val postcondition : t -> rank:int -> index:int -> Chunk.t option
 (** Required final contents of the output buffer ([None] = don't care). *)
 
+val postcondition_fn : t -> rank:int -> index:int -> Chunk.t option
+(** Like {!postcondition}, but the returned closure memoizes the per-index
+    reduction sums of AllReduce/ReduceScatter/Reduce, so sweeping all
+    [ranks * indices] positions costs O(positions) chunk work instead of
+    O(positions * ranks). Use it whenever checking more than one position. *)
+
 val equal_shape : t -> t -> bool
 (** Same kind/ranks/chunking/aliasing (custom collectives compare by name
     and shape). *)

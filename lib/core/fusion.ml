@@ -17,7 +17,10 @@ let unify_ch a b =
   | Some x, Some y -> if x = y then Some a else None
 
 (* Rewire references to the dead instruction [old_id] to [fresh]. Only the
-   successors of [old_id] can mention it, so [succ] keeps this linear. *)
+   successors of [old_id] can mention it, so [succ] keeps this linear. The
+   merged successor list is deduplicated (an instruction may have depended
+   on both [old_id] and [fresh]) so that [succ] remains a valid adjacency
+   for topological traversals across fusion passes. *)
 let redirect (dag : Instr_dag.t) succ ~old_id ~fresh =
   List.iter
     (fun jid ->
@@ -30,15 +33,20 @@ let redirect (dag : Instr_dag.t) succ ~old_id ~fresh =
         if j.Instr.comm_pred = Some old_id then j.Instr.comm_pred <- Some fresh
       end)
     succ.(old_id);
-  succ.(fresh) <- succ.(old_id) @ succ.(fresh);
+  succ.(fresh) <- List.sort_uniq Int.compare (succ.(old_id) @ succ.(fresh));
   succ.(old_id) <- []
 
 (* Fuse receives of opcode [recv_op] with a dependent send of the same
    chunks, rewriting the receive to [fused_op]. *)
-let fuse_recv_send (dag : Instr_dag.t) ~recv_op ~fused_op =
+let fuse_recv_send ?succ:succ0 (dag : Instr_dag.t) ~recv_op ~fused_op =
   let fired = ref 0 in
-  let _, rdepth = Instr_dag.depths dag in
-  let succ = Instr_dag.successors dag in
+  let succ =
+    match succ0 with Some s -> s | None -> Instr_dag.successors dag
+  in
+  (* Depth is only consulted to tie-break between several candidate sends,
+     which is rare (ring/tree patterns have at most one); computing it
+     eagerly would cost a full topological pass per fusion pass. *)
+  let rdepth = lazy (snd (Instr_dag.depths dag)) in
   Array.iter
     (fun (r : Instr.t) ->
       if r.Instr.alive && r.Instr.op = recv_op then begin
@@ -60,14 +68,19 @@ let fuse_recv_send (dag : Instr_dag.t) ~recv_op ~fused_op =
             succ.(r.Instr.id)
         in
         let best =
-          List.fold_left
-            (fun acc (s : Instr.t) ->
-              match acc with
-              | None -> Some s
-              | Some b ->
-                  if rdepth.(s.Instr.id) > rdepth.(b.Instr.id) then Some s
-                  else Some b)
-            None candidates
+          match candidates with
+          | [] -> None
+          | [ s ] -> Some s
+          | _ ->
+              let rdepth = Lazy.force rdepth in
+              List.fold_left
+                (fun acc (s : Instr.t) ->
+                  match acc with
+                  | None -> Some s
+                  | Some b ->
+                      if rdepth.(s.Instr.id) > rdepth.(b.Instr.id) then Some s
+                      else Some b)
+                None candidates
         in
         match best with
         | None -> ()
@@ -89,11 +102,11 @@ let fuse_recv_send (dag : Instr_dag.t) ~recv_op ~fused_op =
     dag.Instr_dag.instrs;
   !fired
 
-let fuse_rcs dag =
-  fuse_recv_send dag ~recv_op:Instr.Recv ~fused_op:Instr.Recv_copy_send
+let fuse_rcs ?succ dag =
+  fuse_recv_send ?succ dag ~recv_op:Instr.Recv ~fused_op:Instr.Recv_copy_send
 
-let fuse_rrcs dag =
-  fuse_recv_send dag ~recv_op:Instr.Recv_reduce_copy
+let fuse_rrcs ?succ dag =
+  fuse_recv_send ?succ dag ~recv_op:Instr.Recv_reduce_copy
     ~fused_op:Instr.Recv_reduce_copy_send
 
 (* Locations an instruction reads: its src (when the opcode reads locally)
@@ -105,9 +118,11 @@ let reads_of (j : Instr.t) =
 let writes_of (j : Instr.t) =
   if Instr.writes_local j.Instr.op then Option.to_list j.Instr.dst else []
 
-let fuse_rrs (dag : Instr_dag.t) =
+let fuse_rrs ?succ:succ0 (dag : Instr_dag.t) =
   let fired = ref 0 in
-  let succ = Instr_dag.successors dag in
+  let succ =
+    match succ0 with Some s -> s | None -> Instr_dag.successors dag
+  in
   Array.iter
     (fun (f : Instr.t) ->
       if f.Instr.alive && f.Instr.op = Instr.Recv_reduce_copy_send then begin
@@ -153,8 +168,12 @@ let fuse_rrs (dag : Instr_dag.t) =
     dag.Instr_dag.instrs;
   !fired
 
+(* The adjacency is built once and kept current by [redirect]; rebuilding
+   it per pass (plus once per topological sort) dominated fusion time on
+   large rings. *)
 let fuse dag =
-  let rcs = fuse_rcs dag in
-  let rrcs = fuse_rrcs dag in
-  let rrs = fuse_rrs dag in
+  let succ = Instr_dag.successors dag in
+  let rcs = fuse_rcs ~succ dag in
+  let rrcs = fuse_rrcs ~succ dag in
+  let rrs = fuse_rrs ~succ dag in
   { rcs; rrcs; rrs }

@@ -6,6 +6,17 @@ type t = {
   mismatches : (int * int * int * int * int) list;
   mutable topo : int array option option;  (* memoized topo_order *)
   mutable closure : Bytes.t array option;
+  mutable pos : int array option;  (* node -> topo position, for pruning *)
+  row_cache : (int, Bytes.t) Hashtbl.t;
+      (* per-source reachable-set bitsets for sources whose queries
+         proved expensive; bounded, FIFO-evicted *)
+  row_order : int Queue.t;
+  mutable gpu_range : (int * int) array option;
+      (* gpu -> [lo, hi) node id range (nodes are laid out gpu by gpu) *)
+  mutable local_rows : (int * Bytes.t array) option;
+      (* one GPU's intra-GPU closure: rows.(a - lo) over columns b - lo.
+         Only the most recent GPU is kept — race detection visits GPUs one
+         at a time, so a single block bounds memory at k^2/8 bytes. *)
 }
 
 (* Above this many nodes the n^2-bit closure is not worth its memory;
@@ -126,6 +137,11 @@ let build ?fifo_slots (ir : Ir.t) =
     mismatches = List.sort compare !mismatches;
     topo = None;
     closure = None;
+    pos = None;
+    row_cache = Hashtbl.create 16;
+    row_order = Queue.create ();
+    gpu_range = None;
+    local_rows = None;
   }
 
 let compute_topo t =
@@ -260,8 +276,161 @@ let dfs_reaches t a b =
   in
   List.exists go t.adj.(a)
 
+(* Large-graph reachability (above [closure_limit], where the n^2-bit
+   closure would not fit): every edge strictly increases topological
+   position, so pos(a) >= pos(b) answers "no" outright and the search
+   never expands a node past pos(b). Sources whose pruned search still
+   visited many nodes get a full reachable-set bitset computed once and
+   kept in a memory-bounded FIFO cache, so repeated queries against hub
+   nodes are bit tests. *)
+
+let pos_of t order =
+  match t.pos with
+  | Some p -> p
+  | None ->
+      let p = Array.make t.n 0 in
+      Array.iteri (fun k v -> p.(v) <- k) order;
+      t.pos <- Some p;
+      p
+
+let row_visit_threshold = 512
+
+let row_budget_bytes = 32 * 1024 * 1024
+
+let max_cached_rows t = max 4 (row_budget_bytes / max 1 ((t.n + 7) / 8))
+
+let test_bit row b = Char.code (Bytes.get row (b lsr 3)) land (1 lsl (b land 7)) <> 0
+
+let set_bit row b =
+  Bytes.set row (b lsr 3)
+    (Char.chr (Char.code (Bytes.get row (b lsr 3)) lor (1 lsl (b land 7))))
+
+let full_row t a =
+  match Hashtbl.find_opt t.row_cache a with
+  | Some row -> row
+  | None ->
+      let row = Bytes.make ((t.n + 7) / 8) '\000' in
+      let stack = ref t.adj.(a) in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> continue := false
+        | x :: rest ->
+            stack := rest;
+            if not (test_bit row x) then begin
+              set_bit row x;
+              stack := t.adj.(x) @ !stack
+            end
+      done;
+      if Hashtbl.length t.row_cache >= max_cached_rows t then (
+        match Queue.take_opt t.row_order with
+        | Some old -> Hashtbl.remove t.row_cache old
+        | None -> ());
+      Hashtbl.add t.row_cache a row;
+      Queue.add a t.row_order;
+      row
+
+let pruned_reaches t pos a b =
+  let seen = Hashtbl.create 64 in
+  let visits = ref 0 in
+  let rec go x =
+    x = b
+    || pos.(x) < pos.(b)
+       && (not (Hashtbl.mem seen x))
+       && begin
+            Hashtbl.add seen x ();
+            incr visits;
+            List.exists go t.adj.(x)
+          end
+  in
+  let r = List.exists go t.adj.(a) in
+  (r, !visits)
+
+(* Intra-GPU closure: race queries always compare two nodes of the same
+   GPU, and in compiler-emitted IR their ordering is almost always
+   established by intra-GPU edges alone (program order and depends, which
+   are same-GPU by construction). The closure over one GPU's contiguous
+   node range is k^2 bits for k local steps — cheap — and answers those
+   queries positively in O(1); only a local miss falls back to the global
+   search, which also covers ordering routed through another GPU. *)
+
+let gpu_range_of t (* gpu *) =
+  match t.gpu_range with
+  | Some r -> r
+  | None ->
+      let ngpus =
+        Array.fold_left (fun m (g, _, _) -> max m (g + 1)) 0 t.coords
+      in
+      let lo = Array.make ngpus max_int and hi = Array.make ngpus 0 in
+      Array.iteri
+        (fun i (g, _, _) ->
+          if i < lo.(g) then lo.(g) <- i;
+          if i + 1 > hi.(g) then hi.(g) <- i + 1)
+        t.coords;
+      let r = Array.init ngpus (fun g -> (lo.(g), hi.(g))) in
+      t.gpu_range <- Some r;
+      r
+
+let local_rows_of t pos gpu =
+  match t.local_rows with
+  | Some (g, rows) when g = gpu -> rows
+  | _ ->
+      let lo, hi = (gpu_range_of t).(gpu) in
+      let k = hi - lo in
+      let stride = (k + 7) / 8 in
+      let rows = Array.init k (fun _ -> Bytes.make stride '\000') in
+      (* Local ids in reverse topological order, so each node's row can
+         absorb its successors' finished rows. *)
+      let order = Array.init k (fun i -> lo + i) in
+      Array.sort (fun a b -> compare pos.(b) pos.(a)) order;
+      let or_into dst src =
+        for i = 0 to stride - 1 do
+          let d = Char.code (Bytes.unsafe_get dst i) in
+          let s = Char.code (Bytes.unsafe_get src i) in
+          if s land lnot d <> 0 then
+            Bytes.unsafe_set dst i (Char.unsafe_chr (d lor s))
+        done
+      in
+      Array.iter
+        (fun a ->
+          let row = rows.(a - lo) in
+          List.iter
+            (fun s ->
+              if s >= lo && s < hi then begin
+                set_bit row (s - lo);
+                or_into row rows.(s - lo)
+              end)
+            t.adj.(a))
+        order;
+      t.local_rows <- Some (gpu, rows);
+      rows
+
+let large_reaches t a b =
+  match topo_order t with
+  | None -> dfs_reaches t a b  (* cyclic: conservative unpruned search *)
+  | Some order ->
+      let pos = pos_of t order in
+      if pos.(a) >= pos.(b) then false
+      else begin
+        let ga, _, _ = t.coords.(a) and gb, _, _ = t.coords.(b) in
+        let locally_ordered =
+          ga = gb
+          &&
+          let lo, _ = (gpu_range_of t).(ga) in
+          test_bit (local_rows_of t pos ga).(a - lo) (b - lo)
+        in
+        locally_ordered
+        ||
+        match Hashtbl.find_opt t.row_cache a with
+        | Some row -> test_bit row b
+        | None ->
+            let r, visits = pruned_reaches t pos a b in
+            if visits > row_visit_threshold then ignore (full_row t a);
+            r
+      end
+
 let reaches t a b =
-  if t.n > closure_limit then dfs_reaches t a b
+  if t.n > closure_limit then large_reaches t a b
   else
     match t.closure with
     | Some rows ->

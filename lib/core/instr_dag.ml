@@ -29,7 +29,9 @@ let make_tracks coll scratch_sizes =
       in
       { t_in; t_out; t_scr = fresh_track scratch_sizes.(r) })
 
-let track_cells tracks coll (l : Loc.t) =
+(* Iterate the cells a location covers in place — lowering visits every
+   instruction's cells several times, so avoid an Array.sub per visit. *)
+let iter_track_cells tracks coll (l : Loc.t) f =
   let tr = tracks.(l.Loc.rank) in
   let arr =
     match l.Loc.buf with
@@ -37,7 +39,9 @@ let track_cells tracks coll (l : Loc.t) =
     | Buffer_id.Output -> if coll.Collective.inplace then tr.t_in else tr.t_out
     | Buffer_id.Scratch -> tr.t_scr
   in
-  Array.sub arr l.Loc.index l.Loc.count
+  for k = l.Loc.index to l.Loc.index + l.Loc.count - 1 do
+    f arr.(k)
+  done
 
 let of_chunk_dag (dag : Chunk_dag.t) =
   let coll = dag.Chunk_dag.collective in
@@ -48,9 +52,10 @@ let of_chunk_dag (dag : Chunk_dag.t) =
       ~comm_pred =
     let id = !next in
     incr next;
-    let deps = Hashtbl.create 4 in
+    let deps = ref [] in
     let dep = function
-      | Some d when d <> id -> Hashtbl.replace deps d ()
+      | Some d when d <> id ->
+          if not (List.mem d !deps) then deps := d :: !deps
       | Some _ | None -> ()
     in
     let reads =
@@ -59,34 +64,25 @@ let of_chunk_dag (dag : Chunk_dag.t) =
     in
     let writes = if Instr.writes_local op then Option.to_list dst else [] in
     List.iter
-      (fun l ->
-        Array.iter (fun c -> dep c.lw) (track_cells tracks coll l))
+      (fun l -> iter_track_cells tracks coll l (fun c -> dep c.lw))
       reads;
     List.iter
       (fun l ->
-        Array.iter
-          (fun c ->
+        iter_track_cells tracks coll l (fun c ->
             dep c.lw;
-            List.iter (fun r -> dep (Some r)) c.readers)
-          (track_cells tracks coll l))
+            List.iter (fun r -> dep (Some r)) c.readers))
       writes;
     List.iter
       (fun l ->
-        Array.iter
-          (fun c -> c.readers <- id :: c.readers)
-          (track_cells tracks coll l))
+        iter_track_cells tracks coll l (fun c -> c.readers <- id :: c.readers))
       reads;
     List.iter
       (fun l ->
-        Array.iter
-          (fun c ->
+        iter_track_cells tracks coll l (fun c ->
             c.lw <- Some id;
-            c.readers <- [])
-          (track_cells tracks coll l))
+            c.readers <- []))
       writes;
-    let deps =
-      List.sort Int.compare (Hashtbl.fold (fun k () l -> k :: l) deps [])
-    in
+    let deps = List.sort Int.compare !deps in
     let i =
       {
         Instr.id;
@@ -180,61 +176,110 @@ let preds_of (i : Instr.t) =
   | Some s -> s :: i.Instr.deps
   | None -> i.Instr.deps
 
-(* Kahn topological traversal over live instructions; returns order or
-   raises if a cycle exists. *)
-let topo_order t =
+(* Flat forward adjacency in compressed-sparse-row form, rebuilt from the
+   current deps/comm_pred of live instructions. Everything is an int
+   array, so the topological passes below touch no pointers — at a million
+   instructions the cons-cell version was the hottest part of compilation.
+   Returns [(off, targets)]: successors of [id] are
+   [targets.(off.(id)) .. targets.(off.(id + 1) - 1)]. *)
+let successors_csr t =
+  let n = Array.length t.instrs in
+  let off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.alive then begin
+        List.iter (fun d -> off.(d) <- off.(d) + 1) i.Instr.deps;
+        match i.Instr.comm_pred with
+        | Some s -> off.(s) <- off.(s) + 1
+        | None -> ()
+      end)
+    t.instrs;
+  let total = ref 0 in
+  for id = 0 to n do
+    let c = if id < n then off.(id) else 0 in
+    off.(id) <- !total;
+    total := !total + c
+  done;
+  let fill = Array.make n 0 in
+  Array.iteri (fun id o -> if id < n then fill.(id) <- o) off;
+  let targets = Array.make !total 0 in
+  Array.iter
+    (fun (i : Instr.t) ->
+      if i.Instr.alive then begin
+        let add p =
+          targets.(fill.(p)) <- i.Instr.id;
+          fill.(p) <- fill.(p) + 1
+        in
+        List.iter add i.Instr.deps;
+        match i.Instr.comm_pred with Some s -> add s | None -> ()
+      end)
+    t.instrs;
+  (off, targets)
+
+(* Kahn topological traversal over live instructions; returns order as an
+   array or raises if a cycle exists. *)
+let topo_order_arr t =
   let n = Array.length t.instrs in
   let indeg = Array.make n 0 in
-  let alive id = t.instrs.(id).Instr.alive in
   Array.iter
     (fun (i : Instr.t) ->
       if i.Instr.alive then
         indeg.(i.Instr.id) <- List.length (preds_of i))
     t.instrs;
-  let succ = successors t in
-  let queue = Queue.create () in
+  let off, targets = successors_csr t in
+  let live = num_live t in
+  let order = Array.make live 0 in
+  (* [order] doubles as the work queue: [tail] marks discovered-but-
+     unprocessed ids, [seen] the processed prefix. *)
+  let tail = ref 0 in
   Array.iter
     (fun (i : Instr.t) ->
-      if i.Instr.alive && indeg.(i.Instr.id) = 0 then
-        Queue.add i.Instr.id queue)
+      if i.Instr.alive && indeg.(i.Instr.id) = 0 then begin
+        order.(!tail) <- i.Instr.id;
+        incr tail
+      end)
     t.instrs;
-  let order = ref [] in
   let seen = ref 0 in
-  while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    order := id :: !order;
+  while !seen < !tail do
+    let id = order.(!seen) in
     incr seen;
-    List.iter
-      (fun s ->
-        if alive s then begin
-          indeg.(s) <- indeg.(s) - 1;
-          if indeg.(s) = 0 then Queue.add s queue
-        end)
-      succ.(id)
+    for k = off.(id) to off.(id + 1) - 1 do
+      let s = targets.(k) in
+      indeg.(s) <- indeg.(s) - 1;
+      if indeg.(s) = 0 then begin
+        order.(!tail) <- s;
+        incr tail
+      end
+    done
   done;
-  if !seen <> num_live t then
-    invalid_arg "Instr_dag: dependency cycle detected";
-  List.rev !order
+  if !seen <> live then invalid_arg "Instr_dag: dependency cycle detected";
+  order
+
+let topo_order t = Array.to_list (topo_order_arr t)
 
 let depths t =
   let n = Array.length t.instrs in
   let depth = Array.make n 0 and rdepth = Array.make n 0 in
-  let order = topo_order t in
-  List.iter
-    (fun id ->
-      let i = t.instrs.(id) in
-      List.iter
-        (fun p -> if depth.(id) < depth.(p) + 1 then depth.(id) <- depth.(p) + 1)
-        (preds_of i))
-    order;
-  List.iter
-    (fun id ->
-      let i = t.instrs.(id) in
-      List.iter
-        (fun p ->
-          if rdepth.(p) < rdepth.(id) + 1 then rdepth.(p) <- rdepth.(id) + 1)
-        (preds_of i))
-    (List.rev order);
+  let order = topo_order_arr t in
+  let last = Array.length order - 1 in
+  for k = 0 to last do
+    let id = order.(k) in
+    let i = t.instrs.(id) in
+    let visit p =
+      if depth.(id) < depth.(p) + 1 then depth.(id) <- depth.(p) + 1
+    in
+    List.iter visit i.Instr.deps;
+    match i.Instr.comm_pred with Some s -> visit s | None -> ()
+  done;
+  for k = last downto 0 do
+    let id = order.(k) in
+    let i = t.instrs.(id) in
+    let visit p =
+      if rdepth.(p) < rdepth.(id) + 1 then rdepth.(p) <- rdepth.(id) + 1
+    in
+    List.iter visit i.Instr.deps;
+    match i.Instr.comm_pred with Some s -> visit s | None -> ()
+  done;
   (depth, rdepth)
 
 let compact t =
@@ -290,7 +335,7 @@ let validate t =
           invalid_arg "Instr_dag: sending instr without peer"
       end)
     t.instrs;
-  ignore (topo_order t)
+  ignore (topo_order_arr t)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>instr-dag %s, %d live instr(s)@," t.name

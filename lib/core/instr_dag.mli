@@ -31,6 +31,16 @@ val successors : t -> int list array
 (** Forward adjacency (processing and communication edges), indexed by id;
     dead instructions have no edges. *)
 
+val successors_csr : t -> int array * int array
+(** The same adjacency as flat compressed-sparse-row arrays
+    [(off, targets)]: successors of [id] are
+    [targets.(off.(id)) .. targets.(off.(id+1) - 1)]. Rebuilt from current
+    deps; preferred in hot traversals, where the list form's cons-cell
+    chasing dominates at 10^6 instructions. *)
+
+val topo_order : t -> int list
+(** Kahn topological order over live instructions; raises on cycles. *)
+
 val depths : t -> int array * int array
 (** [(depth, reverse_depth)]: longest distance from any root and to any
     leaf, over live instructions. Used for scheduling priorities (§5.2) and

@@ -170,9 +170,11 @@ let locs_alias t a b =
    (output) dependencies on the covered cells. *)
 let add_node t ~op ~src_cells ~dst_cells ~src ~dst ~ch ~apply =
   let id = t.next_id in
-  let deps = Hashtbl.create 8 in
+  (* Dependency sets are tiny (last writers + readers of a few cells), so a
+     small-list dedup beats allocating a Hashtbl per traced node. *)
+  let deps = ref [] in
   let dep = function
-    | Some w when w <> id -> Hashtbl.replace deps w ()
+    | Some w when w <> id -> if not (List.mem w !deps) then deps := w :: !deps
     | Some _ | None -> ()
   in
   Array.iter (fun c -> dep c.last_writer) src_cells;
@@ -189,7 +191,7 @@ let add_node t ~op ~src_cells ~dst_cells ~src ~dst ~ch ~apply =
       c.last_writer <- Some id;
       c.readers <- [])
     dst_cells;
-  let deps = List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) deps []) in
+  let deps = List.sort Int.compare !deps in
   t.next_id <- id + 1;
   t.nodes <- { Chunk_dag.id; op; src; dst; ch; deps } :: t.nodes;
   ()

@@ -64,55 +64,85 @@ let find ?hb (ir : Ir.t) =
                 (footprint ir st))
             tb.Ir.steps)
         g.Ir.tbs;
-      let accs = Array.of_list (List.rev !accs) in
-      let m = Array.length accs in
+      (* Candidate pairs must touch the same buffer with overlapping index
+         intervals, so instead of testing all O(m^2) access pairs, accesses
+         are bucketed per buffer and swept in interval order: at each
+         access only the still-open intervals (hi > current lo) are
+         candidates. Only those pairs reach the happens-before query. The
+         emitted set is exactly the overlapping same-buffer pairs the
+         pairwise loop found; dedup and the final sort make the output
+         independent of sweep order. *)
       let seen = Hashtbl.create 16 in
-      for i = 0 to m - 1 do
-        let tb1, s1, n1, w1, (l1 : Loc.t) = accs.(i) in
-        for j = i + 1 to m - 1 do
-          let tb2, s2, n2, w2, (l2 : Loc.t) = accs.(j) in
-          if
-            tb1 <> tb2 && (w1 || w2)
-            && Buffer_id.equal l1.Loc.buf l2.Loc.buf
-            && l1.Loc.index < l2.Loc.index + l2.Loc.count
-            && l2.Loc.index < l1.Loc.index + l1.Loc.count
-            && not (Hbgraph.ordered hb n1 n2)
-          then begin
-            let (tb1, s1, w1, l1), (tb2, s2, w2, l2) =
-              if (tb1, s1) <= (tb2, s2) then
-                ((tb1, s1, w1, l1), (tb2, s2, w2, l2))
-              else ((tb2, s2, w2, l2), (tb1, s1, w1, l1))
-            in
-            let hazard =
-              match (w1, w2) with
-              | true, true -> Waw
-              | true, false -> Raw
-              | false, true -> War
-              | false, false -> assert false
-            in
-            let key = (tb1, s1, tb2, s2, hazard, l1.Loc.buf) in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.add seen key ();
-              races :=
-                {
-                  r_gpu = g.Ir.gpu_id;
-                  r_tb1 = tb1;
-                  r_step1 = s1;
-                  r_tb2 = tb2;
-                  r_step2 = s2;
-                  r_hazard = hazard;
-                  r_buf = l1.Loc.buf;
-                  r_lo = max l1.Loc.index l2.Loc.index;
-                  r_hi =
-                    min (l1.Loc.index + l1.Loc.count)
-                      (l2.Loc.index + l2.Loc.count)
-                    - 1;
-                }
-                :: !races
-            end
-          end
-        done
-      done)
+      let check (tb1, s1, n1, w1, (l1 : Loc.t)) (tb2, s2, n2, w2, (l2 : Loc.t))
+          =
+        if tb1 <> tb2 && (w1 || w2) && not (Hbgraph.ordered hb n1 n2) then begin
+          let (tb1, s1, w1, l1), (tb2, s2, w2, l2) =
+            if (tb1, s1) <= (tb2, s2) then
+              ((tb1, s1, w1, l1), (tb2, s2, w2, l2))
+            else ((tb2, s2, w2, l2), (tb1, s1, w1, l1))
+          in
+          let hazard =
+            match (w1, w2) with
+            | true, true -> Waw
+            | true, false -> Raw
+            | false, true -> War
+            | false, false -> assert false
+          in
+          let key = (tb1, s1, tb2, s2, hazard, l1.Loc.buf) in
+          let race =
+            {
+              r_gpu = g.Ir.gpu_id;
+              r_tb1 = tb1;
+              r_step1 = s1;
+              r_tb2 = tb2;
+              r_step2 = s2;
+              r_hazard = hazard;
+              r_buf = l1.Loc.buf;
+              r_lo = max l1.Loc.index l2.Loc.index;
+              r_hi =
+                min (l1.Loc.index + l1.Loc.count)
+                  (l2.Loc.index + l2.Loc.count)
+                - 1;
+            }
+          in
+          (* A step pair can overlap through several location pairs; keep
+             the least record so the survivor does not depend on
+             enumeration order. *)
+          match Hashtbl.find_opt seen key with
+          | Some prev -> if compare race prev < 0 then Hashtbl.replace seen key race
+          | None -> Hashtbl.replace seen key race
+        end
+      in
+      let by_buf = Hashtbl.create 8 in
+      List.iter
+        (fun ((_, _, _, _, (l : Loc.t)) as acc) ->
+          let prev =
+            match Hashtbl.find_opt by_buf l.Loc.buf with
+            | Some accs -> accs
+            | None -> []
+          in
+          Hashtbl.replace by_buf l.Loc.buf (acc :: prev))
+        !accs;
+      Hashtbl.iter
+        (fun _buf accs ->
+          let accs = Array.of_list accs in
+          Array.sort
+            (fun (_, _, _, _, (a : Loc.t)) (_, _, _, _, (b : Loc.t)) ->
+              compare a.Loc.index b.Loc.index)
+            accs;
+          let active = ref [] in
+          Array.iter
+            (fun ((_, _, _, _, (l : Loc.t)) as acc) ->
+              active :=
+                List.filter
+                  (fun (_, _, _, _, (a : Loc.t)) ->
+                    a.Loc.index + a.Loc.count > l.Loc.index)
+                  !active;
+              List.iter (fun open_acc -> check open_acc acc) !active;
+              active := acc :: !active)
+            accs)
+        by_buf;
+      Hashtbl.iter (fun _key r -> races := r :: !races) seen)
     ir.Ir.gpus;
   List.sort compare !races
 

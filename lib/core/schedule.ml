@@ -83,16 +83,41 @@ type conn_dir =
   | Snd
   | Rcv
 
-(* Connection endpoints an instruction requires: (direction, peer, ch). *)
-let endpoints (i : Instr.t) =
+(* Connection endpoints — (direction, peer, ch) — are encoded into single
+   ints so the hashtables below hash machine words instead of tuples and
+   the per-instruction paths allocate nothing. *)
+let peer_bits = 21
+
+let encode_ep dir ~peer ~ch =
+  if peer < 0 || peer >= 1 lsl peer_bits then
+    error "peer rank %d out of range" peer;
+  if ch < 0 || ch >= 1 lsl (Sys.int_size - peer_bits - 2) then
+    error "channel %d out of range" ch;
+  (((ch lsl peer_bits) lor peer) lsl 1)
+  lor (match dir with Snd -> 0 | Rcv -> 1)
+
+let decode_ep key =
+  let dir = if key land 1 = 0 then Snd else Rcv in
+  let rest = key lsr 1 in
+  let peer = rest land ((1 lsl peer_bits) - 1) in
+  let ch = rest lsr peer_bits in
+  (dir, peer, ch)
+
+(* Connection endpoints an instruction requires, as encoded keys.
+   [-1] = absent. *)
+let endpoint_keys (i : Instr.t) =
   let ch = match i.Instr.ch with Some c -> c | None -> 0 in
-  (if Instr.sends i.Instr.op then
-     [ (Snd, Option.get i.Instr.send_peer, ch) ]
-   else [])
-  @
-  if Instr.receives i.Instr.op then
-    [ (Rcv, Option.get i.Instr.recv_peer, ch) ]
-  else []
+  let snd_key =
+    if Instr.sends i.Instr.op then
+      encode_ep Snd ~peer:(Option.get i.Instr.send_peer) ~ch
+    else -1
+  in
+  let rcv_key =
+    if Instr.receives i.Instr.op then
+      encode_ep Rcv ~peer:(Option.get i.Instr.recv_peer) ~ch
+    else -1
+  in
+  (snd_key, rcv_key)
 
 (* Group connection endpoints per rank with union-find: endpoints shared by
    several instructions are one item; a fused instruction links its send and
@@ -114,20 +139,21 @@ let build_tbs (dag : Instr_dag.t) =
   (* First pass: register items. *)
   Array.iter
     (fun (i : Instr.t) ->
-      if i.Instr.alive then
-        List.iter (fun ep -> ignore (item_of i.Instr.rank ep)) (endpoints i))
+      if i.Instr.alive then begin
+        let s, r = endpoint_keys i in
+        if s >= 0 then ignore (item_of i.Instr.rank s);
+        if r >= 0 then ignore (item_of i.Instr.rank r)
+      end)
     dag.Instr_dag.instrs;
   let ufs = Array.init num_ranks (fun r -> Union_find.create item_count.(r)) in
   Array.iter
     (fun (i : Instr.t) ->
       if i.Instr.alive then
-        match endpoints i with
-        | [ a; b ] ->
-            Union_find.union ufs.(i.Instr.rank)
-              (item_of i.Instr.rank a)
-              (item_of i.Instr.rank b)
-        | [ _ ] | [] -> ()
-        | _ :: _ :: _ :: _ -> assert false)
+        let s, r = endpoint_keys i in
+        if s >= 0 && r >= 0 then
+          Union_find.union ufs.(i.Instr.rank)
+            (item_of i.Instr.rank s)
+            (item_of i.Instr.rank r))
     dag.Instr_dag.instrs;
   (* Materialize one thread block per group and attach its connections. *)
   let groups = Array.init num_ranks (fun _ -> Hashtbl.create 8) in
@@ -143,7 +169,8 @@ let build_tbs (dag : Instr_dag.t) =
   Array.iteri
     (fun rank _tbl ->
       Hashtbl.iter
-        (fun ((dir, peer, ch) : conn_dir * int * int) item ->
+        (fun key item ->
+          let dir, peer, ch = decode_ep key in
           let root = Union_find.find ufs.(rank) item in
           let tb = tb_of_group rank root in
           tb.tb_chan <- ch;
@@ -232,18 +259,20 @@ let build_tbs (dag : Instr_dag.t) =
   let tb_of_instr = Hashtbl.create 64 in
   Array.iter
     (fun (i : Instr.t) ->
-      if i.Instr.alive then
-        match endpoints i with
-        | ep :: _ ->
-            let rank = i.Instr.rank in
-            let root = Union_find.find ufs.(rank) (item_of rank ep) in
-            let tb =
-              match Hashtbl.find_opt merged_into (rank, root) with
-              | Some tb -> tb
-              | None -> tb_of_group rank root
-            in
-            Hashtbl.add tb_of_instr i.Instr.id tb
-        | [] -> ())
+      if i.Instr.alive then begin
+        let s, r = endpoint_keys i in
+        let ep = if s >= 0 then s else r in
+        if ep >= 0 then begin
+          let rank = i.Instr.rank in
+          let root = Union_find.find ufs.(rank) (item_of rank ep) in
+          let tb =
+            match Hashtbl.find_opt merged_into (rank, root) with
+            | Some tb -> tb
+            | None -> tb_of_group rank root
+          in
+          Hashtbl.add tb_of_instr i.Instr.id tb
+        end
+      end)
     dag.Instr_dag.instrs;
   (* Per-rank thread block lists (deterministic order). *)
   let rank_tbs =
@@ -291,7 +320,7 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
     let nf = float_of_int (n + 1) in
     (float_of_int depth.(id) *. nf) +. (nf -. float_of_int rdepth.(id))
   in
-  let succ = Instr_dag.successors dag in
+  let succ_off, succ_tgt = Instr_dag.successors_csr dag in
   let indeg = Array.make n 0 in
   Array.iter
     (fun (i : Instr.t) ->
@@ -417,12 +446,13 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
         c.nsends <- c.nsends + 1;
         wake_head_recv c
       end;
-      List.iter
-        (fun s ->
-          indeg.(s) <- indeg.(s) - 1;
-          if indeg.(s) = 0 then
-            Msccl_sim.Pqueue.add heap ~priority:(priority s) instrs.(s))
-        succ.(i.Instr.id)
+      let id = i.Instr.id in
+      for k = succ_off.(id) to succ_off.(id + 1) - 1 do
+        let s = succ_tgt.(k) in
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then
+          Msccl_sim.Pqueue.add heap ~priority:(priority s) instrs.(s)
+      done
     end
   in
   let rec drive () =
@@ -454,24 +484,29 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
   (* Cross thread-block dependencies, deduplicated per source tb (keeping
      the latest step, since semaphores are monotonic). *)
   let has_dep = Array.make n false in
+  (* Dependency lists are a handful of entries, so dedup by source tb with
+     a small assoc list rather than a Hashtbl per emitted step. *)
   let depends_of (i : Instr.t) =
     let tb = Option.get instr_tb.(i.Instr.id) in
-    let per_tb = Hashtbl.create 4 in
+    let per_tb = ref [] in
     List.iter
       (fun d ->
         let dtb = Option.get instr_tb.(d) in
         if dtb != tb then begin
           let key = dtb.final_id in
           let step = instr_step.(d) in
-          let keep =
-            match Hashtbl.find_opt per_tb key with
-            | Some (prev_step, _) -> step > prev_step
-            | None -> true
+          let rec upsert = function
+            | [] -> [ (key, (step, d)) ]
+            | ((k, (prev_step, _)) as e) :: rest ->
+                if k = key then
+                  if step > prev_step then (k, (step, d)) :: rest
+                  else e :: rest
+                else e :: upsert rest
           in
-          if keep then Hashtbl.replace per_tb key (step, d)
+          per_tb := upsert !per_tb
         end)
       i.Instr.deps;
-    Hashtbl.fold (fun tbid (step, d) acc -> ((tbid, step), d) :: acc) per_tb []
+    List.map (fun (tbid, (step, d)) -> ((tbid, step), d)) !per_tb
     |> List.sort compare
   in
   let gpus =

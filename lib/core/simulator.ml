@@ -20,7 +20,11 @@ type tb_state = {
   mutable ts_tile : int;
   mutable ts_pc : int;
   mutable ts_completed : int;  (* total steps completed over all tiles *)
-  mutable ts_waiters : (int * (unit -> unit)) list;  (* (threshold, k) *)
+  ts_waiters : (int, (unit -> unit) list) Hashtbl.t;
+      (* threshold -> continuations, newest first. Thresholds are always
+         registered above the current semaphore value and the semaphore
+         advances by one per completion, so each wakeup pops exactly the
+         new value's bucket instead of re-partitioning every waiter. *)
   mutable ts_finished : bool;
   mutable ts_span_start : float;  (* for timeline capture *)
 }
@@ -103,7 +107,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
               ts_tile = 0;
               ts_pc = 0;
               ts_completed = 0;
-              ts_waiters = [];
+              ts_waiters = Hashtbl.create 8;
               ts_finished = false;
               ts_span_start = 0.;
             })
@@ -118,11 +122,11 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   let busy t k = Msccl_sim.Engine.after eng t k in
   (* Wake whoever waits on [st]'s semaphore reaching its new value. *)
   let wake_sem st =
-    let ready, still =
-      List.partition (fun (th, _) -> st.ts_completed >= th) st.ts_waiters
-    in
-    st.ts_waiters <- still;
-    List.iter (fun (_, k) -> k ()) ready
+    match Hashtbl.find_opt st.ts_waiters st.ts_completed with
+    | None -> ()
+    | Some ready ->
+        Hashtbl.remove st.ts_waiters st.ts_completed;
+        List.iter (fun k -> k ()) ready
   in
   let free_slot c =
     c.c_in_flight <- c.c_in_flight - 1;
@@ -209,8 +213,11 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
     | Some (dtb, dstep) ->
         let target = states.(st.ts_rank).(dtb) in
         let threshold = (st.ts_tile * target.ts_nsteps) + dstep + 1 in
-        target.ts_waiters <-
-          (threshold, fun () -> check_deps st step) :: target.ts_waiters
+        let bucket =
+          Option.value ~default:[] (Hashtbl.find_opt target.ts_waiters threshold)
+        in
+        Hashtbl.replace target.ts_waiters threshold
+          ((fun () -> check_deps st step) :: bucket)
     | None ->
         st.ts_span_start <- Msccl_sim.Engine.now eng;
         busy instr_overhead (fun () -> recv_phase st step)

@@ -17,11 +17,12 @@ let check_postcondition (ir : Ir.t) =
   let st = Executor.Symbolic.run_collective ir in
   let coll = ir.Ir.collective in
   let out_size = Collective.output_buffer_size coll in
+  let post = Collective.postcondition_fn coll in
   let mismatches = ref [] in
   for rank = Ir.num_ranks ir - 1 downto 0 do
     let out = Executor.Symbolic.output st ~rank in
     for index = out_size - 1 downto 0 do
-      match Collective.postcondition coll ~rank ~index with
+      match post ~rank ~index with
       | None -> ()
       | Some expected -> (
           match out.(index) with

@@ -83,40 +83,51 @@ type report = {
   r_failures : failure list;
 }
 
-let run ?mutate ?(oracles = Oracle.all) ?progress ~seed ~cases () =
-  let failures = ref [] in
-  for index = 0 to cases - 1 do
-    let c = generate ~seed ~index in
-    let outcome = Oracle.run ?mutate ~oracles c in
-    (match outcome with
-    | Ok () -> ()
-    | Error f ->
-        let shrunk = Shrink.shrink ?mutate ~oracle:f.Oracle.oracle c in
-        let shrunk_failure =
-          match Oracle.run ?mutate ~oracles:[ f.Oracle.oracle ] shrunk with
-          | Error sf -> sf
-          | Ok () ->
-              (* The shrinker only accepts still-failing candidates, so the
-                 original case must have reached here unshrunk. *)
-              f
-        in
-        failures :=
+(* Each case is generated from (seed, index) alone and the oracles touch
+   no shared state, so cases fan out over the domain pool. The pool keeps
+   results in index order, making the report identical for any job
+   count. *)
+let run_case ?mutate ~oracles ~seed index =
+  let c = generate ~seed ~index in
+  match Oracle.run ?mutate ~oracles c with
+  | Ok () -> (c, None)
+  | Error f ->
+      let shrunk = Shrink.shrink ?mutate ~oracle:f.Oracle.oracle c in
+      let shrunk_failure =
+        match Oracle.run ?mutate ~oracles:[ f.Oracle.oracle ] shrunk with
+        | Error sf -> sf
+        | Ok () ->
+            (* The shrinker only accepts still-failing candidates, so the
+               original case must have reached here unshrunk. *)
+            f
+      in
+      ( c,
+        Some
           {
             f_case = c;
             f_failure = f;
             f_shrunk = shrunk;
             f_shrunk_failure = shrunk_failure;
-          }
-          :: !failures);
-    match progress with
-    | Some p -> p ~index c (match outcome with Ok () -> None | Error f -> Some f)
-    | None -> ()
-  done;
+          } )
+
+let run ?jobs ?mutate ?(oracles = Oracle.all) ?progress ~seed ~cases () =
+  let results =
+    Msccl_parallel.Pool.map ?jobs
+      (run_case ?mutate ~oracles ~seed)
+      (List.init cases Fun.id)
+  in
+  (match progress with
+  | Some p ->
+      List.iteri
+        (fun index (c, fo) ->
+          p ~index c (Option.map (fun f -> f.f_failure) fo))
+        results
+  | None -> ());
   {
     r_seed = seed;
     r_cases = cases;
     r_oracles = oracles;
-    r_failures = List.rev !failures;
+    r_failures = List.filter_map snd results;
   }
 
 let replay ?(oracles = Oracle.all) c = Oracle.run ~oracles c

@@ -27,6 +27,7 @@ type report = {
 }
 
 val run :
+  ?jobs:int ->
   ?mutate:(Msccl_core.Ir.t -> Msccl_core.Ir.t) ->
   ?oracles:Oracle.id list ->
   ?progress:(index:int -> Case.t -> Oracle.failure option -> unit) ->
@@ -35,9 +36,12 @@ val run :
   unit ->
   report
 (** Generates and checks [cases] cases, shrinking every failure; never
-    stops early. [progress] is called once per case (after its oracles
-    ran). [mutate] is threaded through to {!Oracle.run} and
-    {!Shrink.shrink} — the mutation self-tests use it. *)
+    stops early. Cases fan out over {!Msccl_parallel.Pool} ([jobs]
+    defaults to {!Msccl_parallel.Pool.default_jobs}); the report is
+    identical for any job count. [progress] is called once per case in
+    index order after the batch completes. [mutate] is threaded through
+    to {!Oracle.run} and {!Shrink.shrink} — the mutation self-tests use
+    it. *)
 
 val replay : ?oracles:Oracle.id list -> Case.t -> (unit, Oracle.failure) result
 (** Runs the oracle stack on a stored case (no shrinking, no mutation). *)

@@ -42,12 +42,18 @@ let lint_ir ir =
           List.length (List.filter (fun d -> d.Lint.d_severity = Lint.Info) ds);
       }
 
-let run ?(configs = default_configs) () =
+(* Every (algorithm, config) cell is an independent compile returning pure
+   data, so the sweep fans out over the domain pool; the pool preserves
+   input order, keeping the report byte-identical for any job count. *)
+let cells configs =
   List.concat_map
-    (fun (spec : Registry.spec) ->
-      List.map
-        (fun c ->
-          let params =
+    (fun (spec : Registry.spec) -> List.map (fun c -> (spec, c)) configs)
+    Registry.all
+
+let run ?jobs ?(configs = default_configs) () =
+  Msccl_parallel.Pool.map ?jobs
+    (fun ((spec : Registry.spec), c) ->
+      let params =
             {
               Registry.default_params with
               Registry.nodes = c.c_nodes;
@@ -68,10 +74,9 @@ let run ?(configs = default_configs) () =
                 Build_failed ("scheduling error: " ^ m)
             | exception Failure m -> Build_failed m
             | exception Invalid_argument m -> Build_failed m
-          in
-          { e_algo = spec.Registry.name; e_config = c; e_outcome })
-        configs)
-    Registry.all
+      in
+      { e_algo = spec.Registry.name; e_config = c; e_outcome })
+    (cells configs)
 
 (* ------------------------------------------------------------------ *)
 (* Performance sweep                                                   *)
@@ -87,12 +92,10 @@ type perf_entry = {
   p_outcome : perf_outcome;
 }
 
-let run_perf ?(configs = default_configs) ?size_bytes () =
-  List.concat_map
-    (fun (spec : Registry.spec) ->
-      List.map
-        (fun c ->
-          let params =
+let run_perf ?jobs ?(configs = default_configs) ?size_bytes () =
+  Msccl_parallel.Pool.map ?jobs
+    (fun ((spec : Registry.spec), c) ->
+      let params =
             {
               Registry.default_params with
               Registry.nodes = c.c_nodes;
@@ -125,10 +128,9 @@ let run_perf ?(configs = default_configs) ?size_bytes () =
                       match Perfcheck.lint ~topo ?size_bytes ir with
                       | report, diags -> Analyzed { report; diags }
                       | exception Invalid_argument m -> Perf_skipped m)
-          in
-          { p_algo = spec.Registry.name; p_config = c; p_outcome })
-        configs)
-    Registry.all
+      in
+      { p_algo = spec.Registry.name; p_config = c; p_outcome })
+    (cells configs)
 
 let pp_perf fmt entries =
   Format.fprintf fmt "@[<v>%-28s %-8s %-7s %7s %7s  %s@," "algorithm"

@@ -31,7 +31,11 @@ val default_configs : config list
 (** NDv4 with 1 and 2 nodes and DGX-2 with 1 node, each under Simple, LL
     and LL128. *)
 
-val run : ?configs:config list -> unit -> entry list
+val run : ?jobs:int -> ?configs:config list -> unit -> entry list
+(** Compiles and lints every (algorithm, config) cell, fanning the
+    independent cells out over {!Msccl_parallel.Pool}. Results are in
+    deterministic (algorithm, config) order for any [jobs]; [jobs]
+    defaults to {!Msccl_parallel.Pool.default_jobs}. *)
 
 type perf_outcome =
   | Analyzed of {
@@ -49,7 +53,8 @@ type perf_entry = {
 }
 
 val run_perf :
-  ?configs:config list -> ?size_bytes:int -> unit -> perf_entry list
+  ?jobs:int -> ?configs:config list -> ?size_bytes:int -> unit ->
+  perf_entry list
 (** The {!Msccl_core.Perfcheck} counterpart of {!run}: every registered
     algorithm priced on every config, yielding the efficiency table the
     CI artifact publishes. [size_bytes] defaults to

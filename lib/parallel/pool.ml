@@ -1,0 +1,58 @@
+let default_jobs () =
+  match Sys.getenv_opt "MSCCL_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Work-stealing by atomic index claiming: each worker grabs the next
+   unclaimed item until the range is exhausted. Items are heavyweight
+   (a whole compile or a fuzz case), so per-item claiming costs nothing
+   and balances better than static striping. Results are written to the
+   claimed slot, which fixes the output order independently of the
+   interleaving. *)
+let map_into ~jobs f (items : 'a array) (results : 'b option array) =
+  let n = Array.length items in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n || Atomic.get failure <> None then continue := false
+      else
+        match f items.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    done
+  in
+  let spawned =
+    if jobs <= 1 then []
+    else List.init (min (jobs - 1) (max 0 (n - 1))) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map_array ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    map_into ~jobs f items results;
+    Array.map
+      (function Some v -> v | None -> assert false (* failure re-raised *))
+      results
+  end
+
+let map ?jobs f items =
+  Array.to_list (map_array ?jobs f (Array.of_list items))
+
+let run ?jobs tasks = map ?jobs (fun task -> task ()) tasks |> ignore

@@ -1,0 +1,31 @@
+(** A dependency-free domain pool for embarrassingly parallel sweeps.
+
+    Work is distributed by atomic chunk-claiming over an index range and
+    results land in a pre-sized array slot per item, so [map] returns
+    results in input order regardless of which domain ran which item —
+    callers observe byte-identical output for any job count. Worker
+    functions must not touch shared mutable state; they receive an item
+    and return a value.
+
+    The pool is created per call (domains are cheap relative to the
+    sweeps this is used for: compiling or fuzzing whole algorithm
+    registries). [jobs <= 1] bypasses domains entirely and runs a plain
+    sequential loop, which is also the fallback when the runtime has a
+    single core. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: [MSCCL_JOBS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, using up to [jobs]
+    domains (including the calling one). Results are in input order. The
+    first exception raised by any worker is re-raised in the caller
+    after all domains have joined. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array variant of [map]; same ordering and exception contract. *)
+
+val run : ?jobs:int -> (unit -> unit) list -> unit
+(** [run ~jobs tasks] executes independent side-effecting thunks (their
+    effects must be confined to data they own, e.g. distinct files). *)

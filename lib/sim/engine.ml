@@ -136,8 +136,13 @@ let start_flow t ~bytes ~hops ~cap on_complete =
   List.iter (fun h -> t.counts.(h) <- t.counts.(h) + 1) hops;
   List.iter (fun h -> Hashtbl.replace t.on_resource.(h) fid flow) hops;
   Hashtbl.add t.flows fid flow;
-  reassign_rates t hops;
+  (* The new flow's rate must be final before reassignment sweeps the
+     shared resources: it is already in the tables, and entering with a
+     placeholder rate would make [reassign_rates] treat it as a rate
+     change and schedule a completion of its own — one stale event per
+     flow start on top of the real one below. *)
   flow.rate <- rate_of t flow;
+  reassign_rates t hops;
   schedule_completion t flow
 
 let finish_flow t flow =

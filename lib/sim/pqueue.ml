@@ -1,34 +1,52 @@
-type 'a entry = { priority : float; seq : int; value : 'a }
+(* Array-based binary min-heap in structure-of-arrays form: priorities
+   live in a flat float array (unboxed), so sift comparisons touch no
+   pointers and pushes allocate nothing. The heap sits on the hot path of
+   both the discrete-event engine (every event) and the scheduler (every
+   instruction), where the previous one-record-per-entry layout cost an
+   allocation per push and a pointer chase per comparison. *)
 
 type 'a t = {
-  mutable heap : 'a entry option array;
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable values : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+let initial_capacity = 16
+
+let create () =
+  {
+    prio = Array.make initial_capacity 0.;
+    seq = Array.make initial_capacity 0;
+    values = [||];  (* allocated lazily: we need a dummy 'a to fill with *)
+    size = 0;
+    next_seq = 0;
+  }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let entry_lt a b =
-  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
-
-let get t i =
-  match t.heap.(i) with
-  | Some e -> e
-  | None -> assert false
+let lt t i j =
+  t.prio.(i) < t.prio.(j)
+  || (t.prio.(i) = t.prio.(j) && t.seq.(i) < t.seq.(j))
 
 let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get t i) (get t parent) then begin
+    if lt t i parent then begin
       swap t i parent;
       sift_up t parent
     end
@@ -37,41 +55,60 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if l < t.size && lt t l !smallest then smallest := l;
+  if r < t.size && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
   end
 
-let grow t =
-  let heap = Array.make (2 * Array.length t.heap) None in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+let ensure_room t value =
+  let cap = Array.length t.prio in
+  if t.size = cap then begin
+    let cap' = 2 * cap in
+    let prio = Array.make cap' 0. in
+    Array.blit t.prio 0 prio 0 t.size;
+    t.prio <- prio;
+    let seq = Array.make cap' 0 in
+    Array.blit t.seq 0 seq 0 t.size;
+    t.seq <- seq;
+    let values = Array.make cap' value in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
+  end
+  else if Array.length t.values < cap then begin
+    (* First push: materialize the value array with a real element. *)
+    let values = Array.make cap value in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
+  end
 
 let add t ~priority value =
-  if t.size = Array.length t.heap then grow t;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  t.heap.(t.size) <- Some { priority; seq; value };
+  ensure_room t value;
+  let i = t.size in
+  t.prio.(i) <- priority;
+  t.seq.(i) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.values.(i) <- value;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some (top.priority, top.value)
+    let p = t.prio.(0) and v = t.values.(0) in
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      t.prio.(0) <- t.prio.(last);
+      t.seq.(0) <- t.seq.(last);
+      t.values.(0) <- t.values.(last);
+      t.values.(last) <- v;  (* keep the slot occupied, drop nothing live *)
+      sift_down t 0
+    end;
+    Some (p, v)
   end
 
-let peek t = if t.size = 0 then None else
-    let top = get t 0 in
-    Some (top.priority, top.value)
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.values.(0))
 
-let clear t =
-  Array.fill t.heap 0 t.size None;
-  t.size <- 0
+let clear t = t.size <- 0
