@@ -384,6 +384,79 @@ let run_scale ~quick ~check () =
     else exit 1
   end
 
+(* Chaos degradation curve: ring and hierarchical allreduce at 64 ranks
+   (ndv4, 8 nodes) with one cross-node NIC degraded 0..90%. The NIC is
+   node0/nic7/out, which carries the ring link 7->8 and gpu 7's
+   inter-node ring in the hierarchical algorithm, so both curves move.
+   The knee sits where the degraded IB line rate drops below the
+   per-thread-block cap (13/25 GB/s, severity ~0.48); below it the curve
+   is honestly flat because a single flow never saturated the link. *)
+let chaos_file = "BENCH_chaos.json"
+
+let run_chaos () =
+  Printf.printf "== chaos: degradation curves at 64 ranks ==\n%!";
+  let topo = T.Presets.ndv4 ~nodes:8 in
+  let resource = "node0/nic7/out" in
+  let algos =
+    [
+      ( "ring-allreduce",
+        A.Ring_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
+          ~num_ranks:64 () );
+      ( "hierarchical-allreduce",
+        A.Hierarchical_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
+          ~nodes:8 ~gpus_per_node:8 () );
+    ]
+  in
+  let severities = [ 0.0; 0.15; 0.3; 0.45; 0.6; 0.75; 0.9 ] in
+  (* Large enough that transfers are bandwidth-bound, not α-bound. *)
+  let bytes = 64. *. mib in
+  let points =
+    List.concat_map
+      (fun (name, ir) ->
+        let baseline = sim topo ir bytes in
+        List.map
+          (fun sev ->
+            let faults =
+              Msccl_faults.Plan.make
+                ~name:(Printf.sprintf "degrade-nic(severity=%g)" sev)
+                [
+                  Msccl_faults.Plan.Degrade
+                    {
+                      target = Msccl_faults.Plan.Resource_named resource;
+                      factor = 1. -. sev;
+                      from_s = 0.;
+                      until_s = None;
+                    };
+                ]
+            in
+            let t =
+              (Simulator.run_buffer ~topo ~buffer_bytes:bytes
+                 ~check_occupancy:false ~faults ir)
+                .Simulator.time
+            in
+            let d = t /. baseline in
+            Printf.printf "%-24s severity %.2f: %9.3f ms (x%.3f)\n%!" name sev
+              (t *. 1e3) d;
+            (name, sev, t, baseline, d))
+          severities)
+      algos
+  in
+  let oc = open_out chaos_file in
+  Printf.fprintf oc
+    "{\"benchmark\":\"chaos\",\"ranks\":64,\"buffer_bytes\":%.0f,\
+     \"resource\":\"%s\",\"points\":[%s]}\n"
+    bytes resource
+    (String.concat ","
+       (List.map
+          (fun (name, sev, t, base, d) ->
+            Printf.sprintf
+              "{\"algo\":\"%s\",\"severity\":%.2f,\"time_s\":%.9e,\
+               \"baseline_s\":%.9e,\"degradation\":%.6f}"
+              name sev t base d)
+          points));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" chaos_file
+
 let () =
   let which = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
   let has flag =
@@ -397,9 +470,11 @@ let () =
   | Some "e2e" -> run_e2e ()
   | Some "perfcheck" -> run_perfcheck ()
   | Some "scale" -> run_scale ~quick:(has "--quick") ~check:(has "--check") ()
+  | Some "chaos" -> run_chaos ()
   | Some other ->
       Printf.eprintf
-        "unknown selector %S (expected micro|figures|ablations|tuner|e2e|perfcheck|scale)\n"
+        "unknown selector %S (expected \
+         micro|figures|ablations|tuner|e2e|perfcheck|scale|chaos)\n"
         other;
       exit 1
   | None ->

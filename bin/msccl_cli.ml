@@ -10,6 +10,7 @@
      show        pretty-print an MSCCL-IR XML file
      simulate    run an algorithm or XML file on a simulated cluster
      fuzz        differential fuzzing against the oracle stack
+     chaos       fault-sweep campaigns: degradation curves + hang verdicts
      figures     regenerate the paper's figures *)
 
 open Cmdliner
@@ -603,7 +604,7 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Restrict checking to one oracle (repeatable): exec, equiv, static, \
-       perf or roundtrip. Default: all five."
+       perf, roundtrip or chaos. Default: all six."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
@@ -645,7 +646,7 @@ let fuzz_cmd =
                   Error
                     (Printf.sprintf
                        "unknown oracle %S (expected exec, equiv, static, \
-                        perf or roundtrip)"
+                        perf, roundtrip or chaos)"
                        n))
         in
         go [] names
@@ -721,6 +722,111 @@ let fuzz_cmd =
       const run $ seed_arg $ cases_arg $ oracle_arg $ json_arg $ out_dir_arg
       $ replay_arg $ mutate_arg $ jobs_arg)
 
+let chaos_cmd =
+  let quick_arg =
+    let doc =
+      "CI smoke campaign: ring and allpairs allreduce at 8 ranks under a \
+       one-link-degraded (severity 0.5) plan. Benign by construction, so \
+       any hang fails the run."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the JSON report on stdout instead of the table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Campaign seed: selects which link each plan degrades." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let severities_arg =
+    let doc =
+      "Comma-separated degradation severities in [0, 1]; 1 kills the \
+       link (hangs become expected verdicts, not failures)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "severities" ] ~docv:"S1,S2,..." ~doc)
+  in
+  let algos_arg =
+    let doc = "Restrict the campaign to one algorithm (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let topology_arg =
+    let doc = "Topology label, e.g. ndv4:1 or dgx2:1." in
+    Arg.(value & opt string "ndv4:1" & info [ "topology"; "t" ] ~docv:"TOPO" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the JSON report to this file." in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let parse_severities s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match float_of_string_opt (String.trim p) with
+          | Some v when v >= 0. && v <= 1. -> go (v :: acc) rest
+          | _ -> Error (Printf.sprintf "bad severity %S (want 0..1)" p))
+    in
+    go [] parts
+  in
+  let run quick json seed severities algos topology out size jobs =
+    let campaign =
+      if quick then H.Chaos.quick ?jobs ()
+      else
+        match Option.map parse_severities severities with
+        | Some (Error m) -> Error m
+        | Some (Ok sevs) ->
+            H.Chaos.run ?jobs
+              ?algos:(if algos = [] then None else Some algos)
+              ~severities:sevs ~seed ~size_bytes:size ~topology ()
+        | None ->
+            H.Chaos.run ?jobs
+              ?algos:(if algos = [] then None else Some algos)
+              ~seed ~size_bytes:size ~topology ()
+    in
+    match campaign with
+    | Error m ->
+        prerr_endline m;
+        input_error
+    | Ok entries ->
+        let report = H.Chaos.to_json ~seed entries in
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            output_string oc report;
+            output_char oc '\n';
+            close_out oc)
+          out;
+        if json then print_endline report
+        else Format.printf "%a" H.Chaos.pp entries;
+        let bad = H.Chaos.unexpected_hangs entries in
+        if bad <> [] then begin
+          List.iter
+            (fun (e : H.Chaos.entry) ->
+              Printf.eprintf
+                "unexpected hang: %s at severity %g (benign plan)\n"
+                e.H.Chaos.x_algo e.H.Chaos.x_severity)
+            bad;
+          finding_error
+        end
+        else ok
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-sweep campaigns over the registry: each algorithm is \
+          simulated under deterministic link-degradation plans of \
+          increasing severity and reports its completion-time degradation \
+          or the watchdog's hang diagnosis. Output is byte-identical for \
+          any $(b,--jobs). Exit 1 when a benign (severity < 1) plan \
+          hangs, 2 on unusable input.")
+    Term.(
+      const run $ quick_arg $ json_arg $ seed_arg $ severities_arg
+      $ algos_arg $ topology_arg $ out_arg $ size_arg $ jobs_arg)
+
 let figures_cmd =
   let which_arg =
     let doc = "Figure ids to regenerate (default: all)." in
@@ -757,7 +863,7 @@ let main =
   Cmd.group (Cmd.info "msccl" ~doc)
     [
       list_cmd; compile_cmd; verify_cmd; lint_cmd; analyze_cmd; show_cmd;
-      simulate_cmd; tune_cmd; fuzz_cmd; figures_cmd;
+      simulate_cmd; tune_cmd; fuzz_cmd; chaos_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

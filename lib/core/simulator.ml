@@ -1,8 +1,79 @@
 module T = Msccl_topology
+module Plan = Msccl_faults.Plan
 
 exception Sim_error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Sim_error s)) fmt
+
+(* Shared error/diagnosis context, same shape as Executor errors carry
+   since PR 3: which rank, thread block, step and opcode. *)
+type ctx = { cx_rank : int; cx_tb : int; cx_step : int; cx_op : string }
+
+let ctx_string c =
+  Printf.sprintf "rank %d tb %d step %d (%s)" c.cx_rank c.cx_tb c.cx_step
+    c.cx_op
+
+type wait =
+  | On_semaphore of { sem_tb : int; sem_step : int; threshold : int }
+  | On_fifo_slot of { peer : int; chan : int }
+  | On_arrival of { peer : int; chan : int }
+  | On_transfer of { peer : int; chan : int }
+
+let wait_string = function
+  | On_semaphore { sem_tb; sem_step; threshold } ->
+      Printf.sprintf "waiting on semaphore of tb %d step %d (threshold %d)"
+        sem_tb sem_step threshold
+  | On_fifo_slot { peer; chan } ->
+      Printf.sprintf "waiting for a FIFO slot to rank %d ch%d (all slots full)"
+        peer chan
+  | On_arrival { peer; chan } ->
+      Printf.sprintf "waiting for data from rank %d ch%d" peer chan
+  | On_transfer { peer; chan } ->
+      Printf.sprintf "transfer to rank %d ch%d stalled in flight" peer chan
+
+type blocked = { b_ctx : ctx; b_tile : int; b_wait : wait; b_since : float }
+
+type hang = {
+  h_time : float;
+  h_last_progress : float;
+  h_finished_tbs : int;
+  h_total_tbs : int;
+  h_blocked : blocked list;
+  h_cycle : blocked list option;
+}
+
+exception Hang of hang
+
+let hang_message h =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "hang: no instruction retired since t=%.9gs (now t=%.9gs; %d of %d \
+        thread blocks finished); blocked waits:"
+       h.h_last_progress h.h_time h.h_finished_tbs h.h_total_tbs);
+  List.iter
+    (fun bl ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  %s tile %d: %s since t=%.9gs"
+           (ctx_string bl.b_ctx) bl.b_tile (wait_string bl.b_wait) bl.b_since))
+    h.h_blocked;
+  (match h.h_cycle with
+  | None -> ()
+  | Some [] -> ()
+  | Some (first :: _ as cycle) ->
+      Buffer.add_string b "\n  wait-for cycle: ";
+      Buffer.add_string b
+        (String.concat " -> "
+           (List.map
+              (fun bl ->
+                Printf.sprintf "rank %d tb %d" bl.b_ctx.cx_rank bl.b_ctx.cx_tb)
+              (cycle @ [ first ]))));
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Hang h -> Some ("Simulator.Hang: " ^ hang_message h)
+    | _ -> None)
 
 type result = {
   time : float;
@@ -27,6 +98,9 @@ type tb_state = {
          new value's bucket instead of re-partitioning every waiter. *)
   mutable ts_finished : bool;
   mutable ts_span_start : float;  (* for timeline capture *)
+  mutable ts_wait : (wait * float) option;
+      (* what this tb is parked on right now, and since when — the raw
+         material of the watchdog's hang diagnosis *)
 }
 
 type conn = {
@@ -35,6 +109,7 @@ type conn = {
   mutable c_arrived : int;
   mutable c_waiting_recv : (unit -> unit) option;
   mutable c_waiting_send : (unit -> unit) option;
+  c_free_delay : float;  (* injected FIFO-slot stall (faults) *)
   (* InfiniBand sends are staged: the proxy thread serializes the wire
      transfers of one connection (one queue pair), so a later message waits
      for the one in flight even though the thread block already moved on. *)
@@ -43,19 +118,32 @@ type conn = {
 }
 
 let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
-    ?timeline (ir : Ir.t) =
+    ?timeline ?faults ?watchdog_s (ir : Ir.t) =
   if chunk_bytes <= 0. then error "chunk_bytes must be positive";
   if Ir.num_ranks ir <> T.Topology.num_ranks topo then
     error "IR has %d ranks but topology %s has %d" (Ir.num_ranks ir)
       (T.Topology.name topo)
       (T.Topology.num_ranks topo);
-  if check_occupancy && Ir.max_thread_blocks_per_gpu ir > T.Topology.sm_count topo
-  then
-    error
-      "program needs %d thread blocks per GPU but %s has %d SMs \
-       (cooperative launch requires all thread blocks resident)"
-      (Ir.max_thread_blocks_per_gpu ir)
-      (T.Topology.name topo) (T.Topology.sm_count topo);
+  (if check_occupancy then
+     let sm = T.Topology.sm_count topo in
+     Array.iter
+       (fun (g : Ir.gpu) ->
+         let n = Array.length g.Ir.tbs in
+         if n > sm then
+           error
+             "rank %d needs %d thread blocks but %s has %d SMs (cooperative \
+              launch requires all thread blocks resident)"
+             g.Ir.gpu_id n (T.Topology.name topo) sm)
+       ir.Ir.gpus);
+  let resolved = Option.map (fun p -> Plan.resolve ~topo p) faults in
+  let watchdog_timeout =
+    match watchdog_s with
+    | Some t ->
+        if (not (Float.is_finite t)) || t <= 0. then
+          error "watchdog timeout %g must be finite and positive" t
+        else Some t
+    | None -> if faults = None then None else Some 1.0
+  in
   let proto = ir.Ir.proto in
   let slots = T.Protocol.num_slots proto in
   let slot_bytes = float_of_int (T.Protocol.slot_bytes proto) in
@@ -74,6 +162,16 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   let local_bw = T.Topology.local_bandwidth topo in
   let gamma = T.Topology.reduce_gamma topo in
   let instr_overhead = T.Topology.instr_overhead topo in
+  (* Per-rank straggler multipliers (identity without a fault plan). *)
+  let alpha_mult r =
+    match resolved with None -> 1.0 | Some rv -> rv.Plan.r_alpha.(r)
+  in
+  let beta_mult r =
+    match resolved with None -> 1.0 | Some rv -> rv.Plan.r_beta.(r)
+  in
+  let gamma_mult r =
+    match resolved with None -> 1.0 | Some rv -> rv.Plan.r_gamma.(r)
+  in
   (* Connections, keyed by (src, dst, ch). *)
   let conns : (int * int * int, conn) Hashtbl.t = Hashtbl.create 64 in
   let conn_of ~src ~dst ~ch =
@@ -88,6 +186,10 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
             c_arrived = 0;
             c_waiting_recv = None;
             c_waiting_send = None;
+            c_free_delay =
+              (match resolved with
+              | None -> 0.
+              | Some rv -> Plan.slot_stall rv ~src ~dst ~chan:ch);
             c_proxy_busy = false;
             c_proxy_queue = Queue.create ();
           }
@@ -110,6 +212,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
               ts_waiters = Hashtbl.create 8;
               ts_finished = false;
               ts_span_start = 0.;
+              ts_wait = None;
             })
           g.Ir.tbs)
       ir.Ir.gpus
@@ -119,7 +222,31 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   let finish_time = ref 0. in
   let messages = ref 0 in
   let wire_bytes = ref 0. in
+  let last_progress = ref 0. in
+  (* Fault-injected slot-stall / semaphore-release delays in flight: while
+     one is pending, progress is guaranteed, so the watchdog must not
+     declare a hang. *)
+  let pending_timed = ref 0 in
+  let hang_info = ref None in
   let busy t k = Msccl_sim.Engine.after eng t k in
+  let delayed d k =
+    incr pending_timed;
+    busy d (fun () ->
+        decr pending_timed;
+        k ())
+  in
+  let sem_delay_of st =
+    match resolved with
+    | None -> 0.
+    | Some rv -> Plan.sem_delay rv ~rank:st.ts_rank ~tb:st.ts_tb.Ir.tb_id
+  in
+  let park st w =
+    st.ts_wait <- Some (w, Msccl_sim.Engine.now eng)
+  in
+  let unpark st k () =
+    st.ts_wait <- None;
+    k ()
+  in
   (* Wake whoever waits on [st]'s semaphore reaching its new value. *)
   let wake_sem st =
     match Hashtbl.find_opt st.ts_waiters st.ts_completed with
@@ -129,12 +256,15 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         List.iter (fun k -> k ()) ready
   in
   let free_slot c =
-    c.c_in_flight <- c.c_in_flight - 1;
-    match c.c_waiting_send with
-    | Some k ->
-        c.c_waiting_send <- None;
-        k ()
-    | None -> ()
+    let release () =
+      c.c_in_flight <- c.c_in_flight - 1;
+      match c.c_waiting_send with
+      | Some k ->
+          c.c_waiting_send <- None;
+          k ()
+      | None -> ()
+    in
+    if c.c_free_delay > 0. then delayed c.c_free_delay release else release ()
   in
   let arrival c =
     c.c_arrived <- c.c_arrived + 1;
@@ -155,6 +285,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
           ~ts:st.ts_span_start ~dur:(now -. st.ts_span_start)
   in
   let net_pid = Ir.num_ranks ir in
+  let fault_pid = net_pid + 1 in
   let record_transfer ~src ~dst ~start =
     match timeline with
     | None -> ()
@@ -216,11 +347,13 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         let bucket =
           Option.value ~default:[] (Hashtbl.find_opt target.ts_waiters threshold)
         in
+        park st (On_semaphore { sem_tb = dtb; sem_step = dstep; threshold });
         Hashtbl.replace target.ts_waiters threshold
-          ((fun () -> check_deps st step) :: bucket)
+          (unpark st (fun () -> check_deps st step) :: bucket)
     | None ->
         st.ts_span_start <- Msccl_sim.Engine.now eng;
-        busy instr_overhead (fun () -> recv_phase st step)
+        busy (instr_overhead *. alpha_mult st.ts_rank) (fun () ->
+            recv_phase st step)
   and recv_phase st step =
     if Instr.receives step.Ir.op then begin
       let c =
@@ -233,7 +366,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
           match step.Ir.op with
           | Instr.Recv_reduce_copy | Instr.Recv_reduce_send
           | Instr.Recv_reduce_copy_send ->
-              gamma *. bytes
+              gamma *. gamma_mult st.ts_rank *. bytes
           | Instr.Recv | Instr.Recv_copy_send | Instr.Send | Instr.Copy
           | Instr.Reduce | Instr.Nop ->
               0.
@@ -241,7 +374,9 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         (* Copy out of the FIFO slot (unless the protocol delivers straight
            into the destination buffer), then free it. *)
         let copy_cost =
-          if T.Protocol.receiver_copies proto then bytes /. local_bw else 0.
+          if T.Protocol.receiver_copies proto then
+            bytes /. local_bw *. beta_mult st.ts_rank
+          else 0.
         in
         busy
           (copy_cost +. reduce_cost)
@@ -249,7 +384,10 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
             free_slot c;
             send_phase st step)
       end
-      else c.c_waiting_recv <- Some (fun () -> recv_phase st step)
+      else begin
+        park st (On_arrival { peer = st.ts_tb.Ir.recv; chan = st.ts_tb.Ir.chan });
+        c.c_waiting_recv <- Some (unpark st (fun () -> recv_phase st step))
+      end
     end
     else send_phase st step
   and send_phase st step =
@@ -261,7 +399,10 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         c.c_in_flight <- c.c_in_flight + 1;
         let bytes = float_of_int step.Ir.count *. tile_bytes in
         let wire = bytes /. eff in
-        let alpha = c.c_route.T.Topology.base_alpha *. alpha_scale in
+        let alpha =
+          c.c_route.T.Topology.base_alpha *. alpha_scale
+          *. alpha_mult st.ts_rank
+        in
         incr messages;
         wire_bytes := !wire_bytes +. wire;
         busy alpha (fun () ->
@@ -275,29 +416,42 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
                 proxy_send c wire (fun () ->
                     record_transfer ~src ~dst ~start;
                     arrival c);
-                busy (bytes /. local_bw) (fun () -> complete_step st)
+                busy
+                  (bytes /. local_bw *. beta_mult st.ts_rank)
+                  (fun () -> complete_step st)
             | T.Link.Nvlink | T.Link.Nvswitch | T.Link.Pcie | T.Link.Host ->
-                (* The thread block drives the copy over the link. *)
+                (* The thread block drives the copy over the link; until the
+                   last byte lands the tb is committed to this transfer, so
+                   a dead link parks it here. *)
                 let src = st.ts_rank and dst = st.ts_tb.Ir.send in
                 let start = Msccl_sim.Engine.now eng in
+                park st (On_transfer { peer = dst; chan = st.ts_tb.Ir.chan });
                 Msccl_sim.Engine.start_flow eng ~bytes:wire
                   ~hops:c.c_route.T.Topology.hops
-                  ~cap:c.c_route.T.Topology.tb_cap
-                  (fun () ->
-                    record_transfer ~src ~dst ~start;
-                    arrival c;
-                    complete_step st))
+                  ~cap:(c.c_route.T.Topology.tb_cap /. beta_mult st.ts_rank)
+                  (unpark st (fun () ->
+                       record_transfer ~src ~dst ~start;
+                       arrival c;
+                       complete_step st)))
       end
-      else c.c_waiting_send <- Some (fun () -> send_phase st step)
+      else begin
+        park st
+          (On_fifo_slot { peer = st.ts_tb.Ir.send; chan = st.ts_tb.Ir.chan });
+        c.c_waiting_send <- Some (unpark st (fun () -> send_phase st step))
+      end
     end
     else local_phase st step
   and local_phase st step =
     let bytes = float_of_int step.Ir.count *. tile_bytes in
     match step.Ir.op with
-    | Instr.Copy -> busy (bytes /. local_bw) (fun () -> complete_step st)
+    | Instr.Copy ->
+        busy
+          (bytes /. local_bw *. beta_mult st.ts_rank)
+          (fun () -> complete_step st)
     | Instr.Reduce ->
         busy
-          ((bytes /. local_bw) +. (gamma *. bytes))
+          ((bytes /. local_bw *. beta_mult st.ts_rank)
+          +. (gamma *. gamma_mult st.ts_rank *. bytes))
           (fun () -> complete_step st)
     | Instr.Recv | Instr.Recv_reduce_copy | Instr.Nop ->
         complete_step st
@@ -308,14 +462,180 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   and complete_step st =
     record_instr st;
     st.ts_pc <- st.ts_pc + 1;
-    st.ts_completed <- st.ts_completed + 1;
-    wake_sem st;
+    last_progress := Msccl_sim.Engine.now eng;
+    (* The step retires now; its semaphore release may be delayed by a
+       fault, making the new count visible to waiters only later. *)
+    let release () =
+      st.ts_completed <- st.ts_completed + 1;
+      wake_sem st
+    in
+    let d = sem_delay_of st in
+    if d > 0. then delayed d release else release ();
     advance st ()
   in
   let launch =
     T.Topology.launch_overhead topo
     +. (T.Topology.per_tb_launch topo *. float_of_int total_tbs)
   in
+  last_progress := launch;
+  (* Degradation/restore windows become capacity events on the engine,
+     scheduled relative to kernel start and applied before any thread
+     block starts at the same instant. *)
+  (match resolved with
+  | None -> ()
+  | Some rv ->
+      List.iter
+        (fun (t_ev, rid, cap) ->
+          Msccl_sim.Engine.at eng (launch +. t_ev) (fun () ->
+              Msccl_sim.Engine.set_capacity eng rid cap))
+        (Plan.capacity_events ~topo rv));
+  (* Watchdog: declares a hang when no instruction has retired for the
+     timeout AND nothing that could retire one is still in motion — every
+     unfinished thread block is parked on a wait, no injected delay is
+     pending, and no flow is making progress (a stalled flow on a dead
+     link has rate 0 and does not count). Under those conditions the
+     simulation can never advance, so this is exact, not a heuristic. *)
+  let all_parked () =
+    Array.for_all
+      (fun row ->
+        Array.for_all
+          (fun st -> st.ts_finished || st.ts_wait <> None)
+          row)
+      states
+  in
+  let collect_blocked () =
+    let acc = ref [] in
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun st ->
+            if not st.ts_finished then
+              match st.ts_wait with
+              | None -> ()
+              | Some (w, since) ->
+                  let op =
+                    if st.ts_pc < st.ts_nsteps then
+                      Instr.opcode_name st.ts_tb.Ir.steps.(st.ts_pc).Ir.op
+                    else "-"
+                  in
+                  acc :=
+                    {
+                      b_ctx =
+                        {
+                          cx_rank = st.ts_rank;
+                          cx_tb = st.ts_tb.Ir.tb_id;
+                          cx_step = st.ts_pc;
+                          cx_op = op;
+                        };
+                      b_tile = st.ts_tile;
+                      b_wait = w;
+                      b_since = since;
+                    }
+                    :: !acc)
+          row)
+      states;
+    List.rev !acc
+  in
+  (* The wait-for graph among blocked tbs has out-degree <= 1 (each tb
+     waits on exactly one thing), so it is a functional graph and cycle
+     detection is a marked walk. Successors: a semaphore wait points at
+     the owning tb on the same rank; an arrival wait at the peer tb that
+     sends to us on that channel; a FIFO-slot wait at the peer tb whose
+     receives free our slots; a stalled wire transfer is a resource fault,
+     not a dependency — no successor. *)
+  let find_cycle blocked =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun bl -> Hashtbl.replace tbl (bl.b_ctx.cx_rank, bl.b_ctx.cx_tb) bl)
+      blocked;
+    let tb_matching rank pred =
+      if rank < 0 || rank >= Array.length states then None
+      else
+        Array.fold_left
+          (fun acc st ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                if (not st.ts_finished) && pred st.ts_tb then
+                  Hashtbl.find_opt tbl (rank, st.ts_tb.Ir.tb_id)
+                else None)
+          None
+          states.(rank)
+    in
+    let succ bl =
+      match bl.b_wait with
+      | On_semaphore { sem_tb; _ } ->
+          Hashtbl.find_opt tbl (bl.b_ctx.cx_rank, sem_tb)
+      | On_arrival { peer; chan } ->
+          tb_matching peer (fun (tb : Ir.tb) ->
+              tb.Ir.send = bl.b_ctx.cx_rank && tb.Ir.chan = chan)
+      | On_fifo_slot { peer; chan } ->
+          tb_matching peer (fun (tb : Ir.tb) ->
+              tb.Ir.recv = bl.b_ctx.cx_rank && tb.Ir.chan = chan)
+      | On_transfer _ -> None
+    in
+    let state = Hashtbl.create 16 in
+    let rec walk path depth bl =
+      let key = (bl.b_ctx.cx_rank, bl.b_ctx.cx_tb) in
+      match Hashtbl.find_opt state key with
+      | Some `Done -> None
+      | Some (`Visiting d) ->
+          (* Entries at depth >= d form the cycle; [path] is newest
+             first. *)
+          Some (List.rev (List.filteri (fun i _ -> i < depth - d) path))
+      | None ->
+          Hashtbl.replace state key (`Visiting depth);
+          let r =
+            match succ bl with
+            | None -> None
+            | Some nb -> walk (bl :: path) (depth + 1) nb
+          in
+          (match r with
+          | None -> Hashtbl.replace state key `Done
+          | Some _ -> ());
+          r
+    in
+    List.fold_left
+      (fun acc bl -> match acc with Some _ -> acc | None -> walk [] 0 bl)
+      None blocked
+  in
+  (match watchdog_timeout with
+  | None -> ()
+  | Some timeout ->
+      let rec watchdog () =
+        if !finished < total_tbs && !hang_info = None then begin
+          let now = Msccl_sim.Engine.now eng in
+          if
+            now -. !last_progress >= timeout -. 1e-15
+            && all_parked () && !pending_timed = 0
+            && Msccl_sim.Engine.progressing_flows eng = 0
+          then begin
+            let blocked = collect_blocked () in
+            hang_info :=
+              Some
+                {
+                  h_time = now;
+                  h_last_progress = !last_progress;
+                  h_finished_tbs = !finished;
+                  h_total_tbs = total_tbs;
+                  h_blocked = blocked;
+                  h_cycle = find_cycle blocked;
+                };
+            Msccl_sim.Engine.stop eng
+          end
+          else
+            (* Progress was recent: re-arm for the earliest instant the
+               timeout could elapse. Otherwise (something is still in
+               motion, e.g. a slow transfer) back off by a full period. *)
+            let next =
+              if now -. !last_progress < timeout then
+                !last_progress +. timeout
+              else now +. timeout
+            in
+            Msccl_sim.Engine.at eng next watchdog
+        end
+      in
+      Msccl_sim.Engine.at eng (launch +. timeout) watchdog);
   Array.iter
     (fun row ->
       Array.iter
@@ -323,16 +643,71 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         row)
     states;
   Msccl_sim.Engine.run eng;
+  let end_time = Msccl_sim.Engine.now eng in
+  (* Degradation windows as timeline spans (clipped to the simulated
+     span), on their own "fault" track past the network track. *)
+  (match (timeline, resolved) with
+  | Some tl, Some rv ->
+      List.iter
+        (fun (w : Plan.window) ->
+          let ts = launch +. w.Plan.w_from_s in
+          let fin =
+            match w.Plan.w_until_s with
+            | None -> end_time
+            | Some u -> Float.min end_time (launch +. u)
+          in
+          if fin > ts then
+            Timeline.add tl
+              ~name:
+                (Printf.sprintf "%s x%g" w.Plan.w_rname w.Plan.w_factor)
+              ~cat:"fault" ~pid:fault_pid ~tid:w.Plan.w_rid ~ts
+              ~dur:(fin -. ts))
+        rv.Plan.r_windows
+  | _ -> ());
+  (match !hang_info with
+  | Some h ->
+      (* Watchdog-reported blocked spans complete the trace before the
+         diagnosis is raised. *)
+      (match timeline with
+      | None -> ()
+      | Some tl ->
+          List.iter
+            (fun bl ->
+              Timeline.add tl
+                ~name:(wait_string bl.b_wait)
+                ~cat:"blocked" ~pid:bl.b_ctx.cx_rank ~tid:bl.b_ctx.cx_tb
+                ~ts:bl.b_since ~dur:(h.h_time -. bl.b_since))
+            h.h_blocked);
+      raise (Hang h)
+  | None -> ());
   if !finished <> total_tbs then begin
     let stuck = Buffer.create 128 in
     Array.iter
       (fun row ->
         Array.iter
           (fun st ->
-            if not st.ts_finished then
+            if not st.ts_finished then begin
+              let op =
+                if st.ts_pc < st.ts_nsteps then
+                  Instr.opcode_name st.ts_tb.Ir.steps.(st.ts_pc).Ir.op
+                else "-"
+              in
+              let why =
+                match st.ts_wait with
+                | Some (w, _) -> wait_string w
+                | None -> "not parked on any wait"
+              in
               Buffer.add_string stuck
-                (Printf.sprintf "\n  gpu %d tb %d: tile %d step %d" st.ts_rank
-                   st.ts_tb.Ir.tb_id st.ts_tile st.ts_pc))
+                (Printf.sprintf "\n  %s: tile %d, %s"
+                   (ctx_string
+                      {
+                        cx_rank = st.ts_rank;
+                        cx_tb = st.ts_tb.Ir.tb_id;
+                        cx_step = st.ts_pc;
+                        cx_op = op;
+                      })
+                   st.ts_tile why)
+            end)
           row)
       states;
     error "simulation deadlock (%d of %d thread blocks finished)%s" !finished
@@ -348,10 +723,10 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   }
 
 let run_buffer ~topo ~buffer_bytes ?max_tiles ?check_occupancy ?timeline
-    (ir : Ir.t) =
+    ?faults ?watchdog_s (ir : Ir.t) =
   let chunks = Collective.input_buffer_size ir.Ir.collective in
   run ~topo
     ~chunk_bytes:(buffer_bytes /. float_of_int chunks)
-    ?max_tiles ?check_occupancy ?timeline ir
+    ?max_tiles ?check_occupancy ?timeline ?faults ?watchdog_s ir
 
 let algbw ~buffer_bytes result = buffer_bytes /. result.time

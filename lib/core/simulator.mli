@@ -25,6 +25,62 @@
 
 exception Sim_error of string
 
+(** {1 Hang diagnosis}
+
+    With a fault plan (or an explicit [watchdog_s]) the simulator runs a
+    simulated-time watchdog: when no instruction retires for the timeout
+    and nothing that could retire one is still in motion — every
+    unfinished thread block is parked on a wait, no injected delay is
+    pending, and no flow has a positive rate — the run is declared hung
+    and {!Hang} is raised with a structured diagnosis naming every thread
+    block's blocked wait, the simulator-side analogue of a NCCL hang
+    dump. *)
+
+type ctx = { cx_rank : int; cx_tb : int; cx_step : int; cx_op : string }
+(** Where something happened: rank, thread block, program counter and
+    opcode — the same context [Executor] errors carry. *)
+
+val ctx_string : ctx -> string
+(** ["rank R tb T step S (op)"]. *)
+
+type wait =
+  | On_semaphore of { sem_tb : int; sem_step : int; threshold : int }
+      (** Waiting for [sem_tb] (same rank) to complete step [sem_step] of
+          the current tile; [threshold] is the absolute semaphore value
+          awaited. *)
+  | On_fifo_slot of { peer : int; chan : int }
+      (** All FIFO slots of the connection to [peer] on channel [chan]
+          are in flight. *)
+  | On_arrival of { peer : int; chan : int }
+      (** No message has arrived from [peer] on channel [chan]. *)
+  | On_transfer of { peer : int; chan : int }
+      (** The thread block's own wire transfer to [peer] is stalled in
+          flight (its route crosses a zero-capacity resource). *)
+
+val wait_string : wait -> string
+
+type blocked = { b_ctx : ctx; b_tile : int; b_wait : wait; b_since : float }
+(** One thread block's blocked wait: where it is parked and since when
+    (simulated seconds). *)
+
+type hang = {
+  h_time : float;  (** Simulated time at which the hang was declared. *)
+  h_last_progress : float;  (** When the last instruction retired. *)
+  h_finished_tbs : int;
+  h_total_tbs : int;
+  h_blocked : blocked list;  (** Every unfinished thread block's wait. *)
+  h_cycle : blocked list option;
+      (** A cycle in the wait-for graph if one exists (a true dependency
+          deadlock); [None] when the hang is purely resource-induced,
+          e.g. a dead link. *)
+}
+
+exception Hang of hang
+
+val hang_message : hang -> string
+(** Multi-line rendering of the diagnosis (also installed as the
+    [Printexc] printer for {!Hang}). *)
+
 type result = {
   time : float;  (** End-to-end completion time in seconds (incl. launch). *)
   kernel_time : float;  (** Time after the launch overhead. *)
@@ -40,6 +96,8 @@ val run :
   ?max_tiles:int ->
   ?check_occupancy:bool ->
   ?timeline:Timeline.t ->
+  ?faults:Msccl_faults.Plan.t ->
+  ?watchdog_s:float ->
   Ir.t ->
   result
 (** Simulates one kernel. [chunk_bytes] is the payload size of one chunk;
@@ -47,9 +105,25 @@ val run :
     (default 4) caps the pipelining factor to bound simulation cost for
     huge buffers. [check_occupancy] (default true) fails when a GPU needs
     more thread blocks than it has SMs. [timeline] records instruction and
-    transfer spans for Chrome-tracing export. Raises {!Sim_error} on
-    topology / IR rank mismatch, occupancy violation, or (for hand-written
-    IR) deadlock. *)
+    transfer spans for Chrome-tracing export — plus, under faults,
+    degradation windows (["fault"] category) and, on a hang, the blocked
+    waits (["blocked"] category).
+
+    [faults] injects a fault plan: degradation windows become capacity
+    events on the engine (times relative to kernel start), stragglers
+    scale this rank's α/β/γ costs, and stall/release delays postpone slot
+    reuse and semaphore visibility. Simulation under a plan is exactly as
+    deterministic as without one.
+
+    [watchdog_s] sets the hang watchdog timeout in simulated seconds
+    (default: 1.0 when [faults] is given, otherwise off). Raises {!Hang}
+    with a full blocked-wait diagnosis instead of waiting forever on a
+    simulation that can no longer make progress.
+
+    Raises {!Sim_error} on topology / IR rank mismatch, occupancy
+    violation (naming the offending rank), or (for hand-written IR)
+    deadlock — deadlock messages carry each stuck thread block's
+    rank/tb/step/op context and blocked wait. *)
 
 val run_buffer :
   topo:Msccl_topology.Topology.t ->
@@ -57,6 +131,8 @@ val run_buffer :
   ?max_tiles:int ->
   ?check_occupancy:bool ->
   ?timeline:Timeline.t ->
+  ?faults:Msccl_faults.Plan.t ->
+  ?watchdog_s:float ->
   Ir.t ->
   result
 (** Like {!run} but takes the total size of the collective input buffer and

@@ -1,0 +1,127 @@
+(** Deterministic fault plans for chaos simulation.
+
+    A plan is a declarative list of faults injected into a simulated run:
+    link degradation/failure windows (with optional restore), per-GPU
+    straggler multipliers over the α–β–γ cost model, FIFO-slot stall
+    delays, and semaphore-release delays. Plans are plain data — resolving
+    one against a topology and applying it inside the simulator is fully
+    deterministic, so a (plan, topology, program) triple always reproduces
+    the same simulated schedule, the same completion time, and the same
+    hang diagnosis. Times are in seconds of simulated time, measured from
+    kernel start (i.e. excluding launch overhead). *)
+
+type target =
+  | Resource of int  (** A link resource by dense id. *)
+  | Resource_named of string
+      (** A link resource by name, e.g. ["node0/gpu3/egress"]. *)
+  | Route of { src : int; dst : int }
+      (** Every hop resource of the route [src -> dst]. *)
+
+type fault =
+  | Degrade of {
+      target : target;
+      factor : float;
+          (** New capacity = base capacity × [factor]. [0.] kills the
+              link; overlapping windows on one resource compose by
+              multiplying their factors. *)
+      from_s : float;  (** Window start, seconds after kernel start. *)
+      until_s : float option;
+          (** Window end (restore); [None] lasts forever. *)
+    }
+  | Straggler of {
+      rank : int;
+      alpha : float;  (** Multiplier on per-message setup latency. *)
+      beta : float;
+          (** Divisor on bandwidth this rank drives (thread-block cap and
+              local copies): an effective-bandwidth multiplier of
+              [1/beta]. *)
+      gamma : float;  (** Multiplier on per-byte reduction cost. *)
+    }
+  | Slot_stall of {
+      src : int;
+      dst : int;
+      chan : int option;  (** [None] stalls every channel. *)
+      delay_s : float;
+          (** Extra delay before a consumed FIFO slot on the connection
+              [src -> dst] becomes reusable by the sender. *)
+    }
+  | Sem_delay of {
+      rank : int;
+      tb : int option;  (** [None] delays every thread block. *)
+      delay_s : float;
+          (** Extra delay between a step retiring and its step-counter
+              semaphore release becoming visible to waiters. *)
+    }
+
+type t = private { pname : string; pfaults : fault list }
+
+val make : ?name:string -> fault list -> t
+(** Validates numeric sanity: factors/multipliers/delays finite and
+    non-negative, multipliers positive, windows well-ordered
+    ([until_s > from_s]). Raises [Invalid_argument] with the offending
+    fault otherwise. Rank/resource ranges are checked later, by
+    {!resolve}, where the topology is known. *)
+
+val is_benign : t -> bool
+(** A benign plan is timing-only: it can delay a run but can neither
+    deadlock it nor speed it up. Concretely every [Degrade] has
+    [0 < factor <= 1], or [factor = 0] with a restore window; every
+    [Straggler] multiplier is [>= 1]. (Stall/release delays are always
+    benign: they are non-negative by construction.) *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Resolution against a topology} *)
+
+type window = {
+  w_rid : int;
+  w_rname : string;
+  w_factor : float;
+  w_from_s : float;
+  w_until_s : float option;
+}
+(** One degradation window on one concrete resource (a [Route] target
+    expands to one window per hop). *)
+
+type resolved = {
+  r_windows : window list;  (** In plan declaration order. *)
+  r_alpha : float array;  (** Per-rank α multiplier (≥ 1 if benign). *)
+  r_beta : float array;  (** Per-rank bandwidth divisor. *)
+  r_gamma : float array;  (** Per-rank γ multiplier. *)
+  r_slot_stalls : ((int * int * int option) * float) list;
+      (** [(src, dst, chan), delay] in declaration order. *)
+  r_sem_delays : ((int * int option) * float) list;
+      (** [(rank, tb), delay] in declaration order. *)
+}
+
+val resolve : topo:Msccl_topology.Topology.t -> t -> resolved
+(** Expands targets to resource ids and stragglers to dense per-rank
+    arrays. Raises [Invalid_argument] on an out-of-range rank or resource
+    id, or an unknown resource name. Stragglers on the same rank
+    compose multiplicatively, as do stalls/delays on the same key
+    (additively). *)
+
+val capacity_events :
+  topo:Msccl_topology.Topology.t -> resolved -> (float * int * float) list
+(** The piecewise-constant capacity schedule induced by [r_windows]:
+    [(time_s, rid, capacity)] triples sorted by time (ties in resource-id
+    then declaration order), emitting only actual changes. At each
+    boundary the capacity is the resource's base capacity times the
+    product of all factors whose window contains that instant (windows
+    are half-open: [from_s <= t < until_s]). *)
+
+val slot_stall : resolved -> src:int -> dst:int -> chan:int -> float
+(** Total stall delay applying to one connection's slot release. *)
+
+val sem_delay : resolved -> rank:int -> tb:int -> float
+(** Total release delay applying to one thread block's semaphore. *)
+
+(** {1 Seeded generation} *)
+
+val random :
+  seed:int -> severity:float -> topo:Msccl_topology.Topology.t -> t
+(** A deterministic, always-benign plan drawn from [seed] (splitmix64):
+    one degraded route (never killed), one straggler, one slot stall and
+    one semaphore delay, all scaled by [severity] (clamped to [0, 1];
+    [0.] yields a plan with no effect). Used by the fuzzer's chaos oracle
+    and the chaos campaign. *)

@@ -6,8 +6,9 @@ type id =
   | Static
   | Perf
   | Roundtrip
+  | Chaos
 
-let all = [ Exec; Equiv; Static; Perf; Roundtrip ]
+let all = [ Exec; Equiv; Static; Perf; Roundtrip; Chaos ]
 
 let id_name = function
   | Exec -> "exec"
@@ -15,6 +16,7 @@ let id_name = function
   | Static -> "static"
   | Perf -> "perf"
   | Roundtrip -> "roundtrip"
+  | Chaos -> "chaos"
 
 let id_of_name = function
   | "exec" -> Some Exec
@@ -22,6 +24,7 @@ let id_of_name = function
   | "static" -> Some Static
   | "perf" -> Some Perf
   | "roundtrip" -> Some Roundtrip
+  | "chaos" -> Some Chaos
   | _ -> None
 
 type failure = {
@@ -218,6 +221,51 @@ let check_perf (c : Case.t) (ir : Ir.t) =
   else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: benign fault plans only slow a run down                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A benign (timing-only) plan must leave the run able to complete, must
+   not speed it up (the engine shares links by flow count, so capacity
+   never increases and every injected delay propagates causally forward),
+   and must not touch the IR — the executor's output depends only on the
+   IR, so an unchanged print is an unchanged result. *)
+let check_chaos (c : Case.t) (ir : Ir.t) =
+  let topo = Case.topology c in
+  let buffer_bytes = float_of_int Perfcheck.default_size_bytes in
+  let printed = Xml.to_string ir in
+  let free =
+    Simulator.run_buffer ~topo ~buffer_bytes ~check_occupancy:false ir
+  in
+  let faults =
+    Msccl_faults.Plan.random
+      ~seed:(c.Case.seed + (31 * c.Case.index))
+      ~severity:0.5 ~topo
+  in
+  assert (Msccl_faults.Plan.is_benign faults);
+  match
+    Simulator.run_buffer ~topo ~buffer_bytes ~check_occupancy:false ~faults ir
+  with
+  | exception Simulator.Hang h ->
+      fail Chaos
+        "benign plan hung the simulation at %.3g us (%d of %d thread blocks \
+         blocked)"
+        (h.Simulator.h_time *. 1e6)
+        (List.length h.Simulator.h_blocked)
+        h.Simulator.h_total_tbs
+  | faulted ->
+      if not (String.equal (Xml.to_string ir) printed) then
+        fail Chaos "simulating under faults mutated the IR"
+      else if
+        faulted.Simulator.time < free.Simulator.time *. (1. -. 1e-9)
+      then
+        fail Chaos
+          "faulted run finished in %.6g us, beating the fault-free %.6g us \
+           (benign plans can only delay)"
+          (faulted.Simulator.time *. 1e6)
+          (free.Simulator.time *. 1e6)
+      else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Roundtrip: Ir -> Xml -> Ir is lossless and prints stably            *)
 (* ------------------------------------------------------------------ *)
 
@@ -250,6 +298,7 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
     | Program.Trace_error m -> fail oracle "trace: %s" m
     | Xml.Parse_error m -> fail oracle "xml: %s" m
     | Simulator.Sim_error m -> fail oracle "simulator: %s" m
+    | Simulator.Hang h -> fail oracle "hang: %s" (Simulator.hang_message h)
     | Instances.Replication_error m -> fail oracle "replication: %s" m
     | Failure m -> fail oracle "%s" m
     | Invalid_argument m -> fail oracle "invalid argument: %s" m
@@ -261,7 +310,8 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
         | Equiv -> check_equiv ~compile c
         | Static -> check_static (Lazy.force primary)
         | Perf -> check_perf c (Lazy.force primary)
-        | Roundtrip -> check_roundtrip (Lazy.force primary))
+        | Roundtrip -> check_roundtrip (Lazy.force primary)
+        | Chaos -> check_chaos c (Lazy.force primary))
   in
   let rec go = function
     | [] -> Ok ()

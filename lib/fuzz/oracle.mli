@@ -23,13 +23,18 @@ type id =
   | Roundtrip
       (** [Ir -> Xml -> Ir] is lossless ({!Msccl_core.Ir.equal}) and the
           second print is byte-identical. *)
+  | Chaos
+      (** A benign (timing-only) fault plan drawn from the case's seed
+          must leave the simulation able to complete, must not make it
+          finish earlier than the fault-free run, and must not mutate the
+          IR (so the executor's output is unchanged). *)
 
 val all : id list
-(** In checking order: [Exec; Equiv; Static; Perf; Roundtrip]. *)
+(** In checking order: [Exec; Equiv; Static; Perf; Roundtrip; Chaos]. *)
 
 val id_name : id -> string
 (** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["perf"],
-    ["roundtrip"]. *)
+    ["roundtrip"], ["chaos"]. *)
 
 val id_of_name : string -> id option
 

@@ -39,6 +39,7 @@ type t = {
   mutable now : float;
   mutable next_fid : int;
   mutable processed : int;
+  mutable stopped : bool;
 }
 
 let create ~capacities =
@@ -54,16 +55,23 @@ let create ~capacities =
     now = 0.;
     next_fid = 0;
     processed = 0;
+    stopped = false;
   }
 
 let now t = t.now
 
 let at t time f =
-  if time < t.now -. 1e-12 then invalid_arg "Engine.at: time in the past";
+  if Float.is_nan time then invalid_arg "Engine.at: time is NaN";
+  if time < t.now -. 1e-12 then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %g is in the past (now = %g)" time t.now);
   Pqueue.add t.events ~priority:(Float.max time t.now) (Callback f)
 
 let after t delay f =
-  if delay < 0. then invalid_arg "Engine.after: negative delay";
+  if Float.is_nan delay then invalid_arg "Engine.after: delay is NaN";
+  if delay < 0. then
+    invalid_arg
+      (Printf.sprintf "Engine.after: negative delay %g (now = %g)" delay t.now);
   at t (t.now +. delay) f
 
 let rate_of t flow =
@@ -78,19 +86,28 @@ let catch_up t flow =
     flow.last_update <- t.now
   end
 
+(* A stalled flow (some resource degraded to zero capacity) gets no
+   completion event at all — scheduling one at eta = infinity would fire a
+   useless event that reschedules itself forever. A later capacity increase
+   revives it through [maybe_reschedule]. *)
 let schedule_completion t flow =
   flow.version <- flow.version + 1;
-  let eta = t.now +. (flow.remaining /. flow.rate) in
-  flow.scheduled_eta <- eta;
-  Pqueue.add t.events ~priority:eta
-    (Flow_done { fid = flow.fid; version = flow.version })
+  if flow.rate > 0. then begin
+    let eta = t.now +. (flow.remaining /. flow.rate) in
+    flow.scheduled_eta <- eta;
+    Pqueue.add t.events ~priority:eta
+      (Flow_done { fid = flow.fid; version = flow.version })
+  end
+  else flow.scheduled_eta <- infinity
 
 (* After a rate change, only reschedule when the flow now finishes earlier
    than its pending event; otherwise let the pending event fire early and
    resynchronize then. *)
 let maybe_reschedule t flow =
-  let eta = t.now +. (flow.remaining /. flow.rate) in
-  if eta < flow.scheduled_eta -. 1e-15 then schedule_completion t flow
+  if flow.rate > 0. then begin
+    let eta = t.now +. (flow.remaining /. flow.rate) in
+    if eta < flow.scheduled_eta -. 1e-15 then schedule_completion t flow
+  end
 
 (* Visit every flow sharing a resource with [hops]. Flows on two shared
    resources are visited twice, which is harmless: catch-up and rate
@@ -107,6 +124,35 @@ let reassign_rates t hops =
           maybe_reschedule t f
         end
       end)
+
+(* Re-rate a resource mid-simulation (fault injection: link degradation,
+   failure, restore). Flows crossing it are settled at the current time
+   first, then re-rated through the ordinary lazy-rescheduling path — a
+   capacity drop leaves pending completion events to fire early and
+   resynchronize; a capacity raise forces earlier events where needed. *)
+let set_capacity t rid capacity =
+  if rid < 0 || rid >= Array.length t.capacities then
+    invalid_arg
+      (Printf.sprintf "Engine.set_capacity: bad resource id %d (have %d)" rid
+         (Array.length t.capacities));
+  if Float.is_nan capacity || capacity < 0. then
+    invalid_arg
+      (Printf.sprintf "Engine.set_capacity: bad capacity %g for resource %d"
+         capacity rid);
+  if capacity <> t.capacities.(rid) then begin
+    Hashtbl.iter
+      (fun _ f -> if not f.finished then catch_up t f)
+      t.on_resource.(rid);
+    t.capacities.(rid) <- capacity;
+    reassign_rates t [ rid ]
+  end
+
+let capacity t rid =
+  if rid < 0 || rid >= Array.length t.capacities then
+    invalid_arg
+      (Printf.sprintf "Engine.capacity: bad resource id %d (have %d)" rid
+         (Array.length t.capacities));
+  t.capacities.(rid)
 
 let start_flow t ~bytes ~hops ~cap on_complete =
   if cap <= 0. then invalid_arg "Engine.start_flow: cap <= 0";
@@ -170,18 +216,27 @@ let handle t = function
             else schedule_completion t flow
           end)
 
+let stop t = t.stopped <- true
+
 let run t =
+  t.stopped <- false;
   let rec loop () =
-    match Pqueue.pop t.events with
-    | None -> ()
-    | Some (time, ev) ->
-        if time > t.now then t.now <- time;
-        t.processed <- t.processed + 1;
-        handle t ev;
-        loop ()
+    if not t.stopped then
+      match Pqueue.pop t.events with
+      | None -> ()
+      | Some (time, ev) ->
+          if time > t.now then t.now <- time;
+          t.processed <- t.processed + 1;
+          handle t ev;
+          loop ()
   in
   loop ()
 
 let events_processed t = t.processed
 
 let active_flows t = Hashtbl.length t.flows
+
+let progressing_flows t =
+  Hashtbl.fold
+    (fun _ f n -> if (not f.finished) && f.rate > 0. then n + 1 else n)
+    t.flows 0

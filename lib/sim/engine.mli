@@ -23,10 +23,27 @@ val create : capacities:float array -> t
 val now : t -> float
 
 val at : t -> float -> (unit -> unit) -> unit
-(** Schedule a callback at an absolute time (>= [now t]). *)
+(** Schedule a callback at an absolute time (>= [now t]).
+    @raise Invalid_argument on a NaN or past time, naming the offending
+    value — a mis-ordered event would silently corrupt heap order. *)
 
 val after : t -> float -> (unit -> unit) -> unit
-(** Schedule a callback [delay] seconds from now. *)
+(** Schedule a callback [delay] seconds from now.
+    @raise Invalid_argument on a NaN or negative delay, naming the
+    offending value. *)
+
+val set_capacity : t -> int -> float -> unit
+(** [set_capacity t r c] changes resource [r]'s bandwidth to [c] bytes/s
+    at the current simulated time (fault injection: degradation, failure,
+    restore). Active flows crossing [r] are settled at the current time and
+    re-rated through the usual lazy completion rescheduling. [c = 0.] is
+    allowed and stalls the flows on [r] — they make no progress and
+    schedule no events until a later [set_capacity] revives them.
+    @raise Invalid_argument on a bad resource id, NaN, or negative
+    capacity. *)
+
+val capacity : t -> int -> float
+(** Current bandwidth of a resource in bytes/second. *)
 
 val start_flow :
   t -> bytes:float -> hops:int list -> cap:float -> (unit -> unit) -> unit
@@ -36,11 +53,23 @@ val start_flow :
     at the current time (still asynchronously, in event order). *)
 
 val run : t -> unit
-(** Process events until none remain. Callbacks may schedule further events
-    and flows. *)
+(** Process events until none remain or {!stop} is called. Callbacks may
+    schedule further events and flows. *)
+
+val stop : t -> unit
+(** Ask {!run} to return after the current event (used by the simulator's
+    hang watchdog to abandon a stuck simulation). Pending events stay in
+    the queue; a later {!run} resumes them. *)
 
 val events_processed : t -> int
 (** Number of events processed so far (a determinism/effort metric). *)
 
 val active_flows : t -> int
 (** Number of flows currently in the air. *)
+
+val progressing_flows : t -> int
+(** Number of active flows with a positive rate — i.e. excluding flows
+    stalled on a zero-capacity resource. Rates are kept current on every
+    capacity/population change, so a zero here means no transfer can ever
+    complete without outside intervention (used by the simulator's hang
+    watchdog). *)

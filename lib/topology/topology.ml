@@ -104,6 +104,15 @@ let resource_capacity t rid =
     invalid_arg "Topology.resource_capacity: id out of range";
   t.resources.(rid).capacity
 
+let find_resource t name =
+  let n = Array.length t.resources in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.resources.(i).rname name then Some t.resources.(i)
+    else go (i + 1)
+  in
+  go 0
+
 let route_bandwidth t ~src ~dst =
   let rt = route t ~src ~dst in
   match rt.hops with

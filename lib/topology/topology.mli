@@ -71,6 +71,10 @@ val resource_capacity : t -> int -> float
 (** Capacity in bytes/second of a resource id. Raises [Invalid_argument]
     when the id is out of range. *)
 
+val find_resource : t -> string -> resource option
+(** Look a resource up by its {!resource.rname} (used by fault plans that
+    target links by name, e.g. ["node0/gpu3/egress"]). *)
+
 val route_bandwidth : t -> src:int -> dst:int -> float
 (** The uncontended wire bandwidth of the route [src -> dst]: the minimum
     capacity over its hop resources (the β of the link in α–β–γ terms,
