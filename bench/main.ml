@@ -204,6 +204,15 @@ type scale_point = {
   sp_simulate_s : float;
   sp_total_s : float;
   sp_events : int;
+  (* Quotient analysis under certified rank symmetry: inference time,
+     race/lint time through one representative per orbit, and the orbit
+     count. The quotient results are asserted identical to the full
+     pass's before they are recorded. *)
+  sp_infer_s : float;
+  sp_races_q_s : float;
+  sp_lint_s : float;
+  sp_lint_q_s : float;
+  sp_orbits : int;
 }
 
 let scale_file = "BENCH_scale.json"
@@ -230,6 +239,23 @@ let scale_point sp_algo sp_ranks build =
     Simulator.run_buffer ~topo ~buffer_bytes:mib ~check_occupancy:false ir
   in
   let t4 = wall () in
+  (* Quotient block, timed after the classic pipeline so total_s stays
+     comparable across revisions. Soundness is asserted, not assumed:
+     quotient races must equal the full pass's and quotient lint must be
+     as clean as full lint. *)
+  let sym = Msccl_analysis.Symmetry.infer ir in
+  let t5 = wall () in
+  let orbit = sym.Msccl_analysis.Symmetry.s_orbit in
+  let qraces = Races.find_quotient ~orbit ir in
+  let t6 = wall () in
+  if qraces <> races then
+    failwith (sp_algo ^ ": quotient races diverge from the full pass");
+  let lint_full = Lint.run ir in
+  let t7 = wall () in
+  let lint_q = Lint.run ~orbit ir in
+  let t8 = wall () in
+  if Lint.has_errors lint_full || Lint.has_errors lint_q then
+    failwith (sp_algo ^ ": lint errors at scale");
   let p =
     {
       sp_algo;
@@ -240,14 +266,23 @@ let scale_point sp_algo sp_ranks build =
       sp_simulate_s = t4 -. t3;
       sp_total_s = t4 -. t0;
       sp_events = r.Simulator.events;
+      sp_infer_s = t5 -. t4;
+      sp_races_q_s = t6 -. t5;
+      sp_lint_s = t7 -. t6;
+      sp_lint_q_s = t8 -. t7;
+      sp_orbits = Orbit.num_orbits orbit;
     }
   in
   Printf.printf
     "compile %.2fs  verify %.2fs  races %.2fs  simulate %.2fs  total %.2fs \
-     (%d steps, %.0f events/s)\n%!"
+     (%d steps, %.0f events/s)\n       symmetry: infer %.2fs  %d orbit(s)  \
+     races_q %.2fs (%.1fx)  lint %.2fs  lint_q %.2fs\n%!"
     p.sp_compile_s p.sp_verify_s p.sp_races_s p.sp_simulate_s p.sp_total_s
     (Ir.num_steps ir)
-    (float_of_int p.sp_events /. p.sp_simulate_s);
+    (float_of_int p.sp_events /. p.sp_simulate_s)
+    p.sp_infer_s p.sp_orbits p.sp_races_q_s
+    (p.sp_races_s /. Float.max p.sp_races_q_s 1e-9)
+    p.sp_lint_s p.sp_lint_q_s;
   p
 
 let scale_points ~quick =
@@ -274,10 +309,12 @@ let point_json p =
   Printf.sprintf
     "{\"algo\":\"%s\",\"ranks\":%d,\"compile_s\":%.3f,\"verify_s\":%.3f,\
      \"races_s\":%.3f,\"simulate_s\":%.3f,\"total_s\":%.3f,\"events\":%d,\
-     \"events_per_s\":%.0f}"
+     \"events_per_s\":%.0f,\"symmetry_infer_s\":%.3f,\"races_quotient_s\":%.3f,\
+     \"lint_s\":%.3f,\"lint_quotient_s\":%.3f,\"orbits\":%d}"
     p.sp_algo p.sp_ranks p.sp_compile_s p.sp_verify_s p.sp_races_s
     p.sp_simulate_s p.sp_total_s p.sp_events
     (float_of_int p.sp_events /. p.sp_simulate_s)
+    p.sp_infer_s p.sp_races_q_s p.sp_lint_s p.sp_lint_q_s p.sp_orbits
 
 (* Minimal extraction from our own fixed serialization: every point object
    starts with {"algo": and carries a "total_s" field before its '}'. *)
@@ -328,10 +365,36 @@ let baseline_points path =
     List.rev !pts
   end
 
+(* Whole-registry quotient soundness gate: for every registered
+   algorithm at its default shape, quotient race findings must equal the
+   full pass's. Certification failures are fine (the quotient degenerates
+   to the full pass); divergence is a hard failure. *)
+let quotient_registry_gate () =
+  let t0 = wall () in
+  let checked = ref 0 in
+  List.iter
+    (fun spec ->
+      match spec.H.Registry.build H.Registry.default_params with
+      | exception _ -> () (* shape unsupported *)
+      | ir ->
+          let s = Msccl_analysis.Symmetry.infer ir in
+          let orbit = s.Msccl_analysis.Symmetry.s_orbit in
+          if Races.find_quotient ~orbit ir <> Races.find ir then
+            failwith
+              (spec.H.Registry.name
+             ^ ": quotient races diverge from the full pass");
+          incr checked)
+    H.Registry.all;
+  Printf.printf
+    "registry quotient soundness: %d algorithm(s) identical (%.2fs)\n%!"
+    !checked (wall () -. t0);
+  !checked
+
 let run_scale ~quick ~check () =
   let baseline = if check then baseline_points scale_file else [] in
   Printf.printf "== scale: full pipeline at cluster sizes%s ==\n%!"
     (if quick then " (quick)" else "");
+  let quotient_algos = quotient_registry_gate () in
   let points =
     List.map (fun (a, n, build) -> scale_point a n build) (scale_points ~quick)
   in
@@ -349,10 +412,12 @@ let run_scale ~quick ~check () =
   let oc = open_out scale_file in
   Printf.fprintf oc
     "{\"benchmark\":\"scale\",\"quick\":%b,\"points\":[%s],\
-     \"registry_sweep\":{\"jobs1_s\":%.3f,\"jobs8_s\":%.3f,\"speedup\":%.3f}}\n"
+     \"registry_sweep\":{\"jobs1_s\":%.3f,\"jobs8_s\":%.3f,\"speedup\":%.3f},\
+     \"quotient_gate\":{\"algorithms\":%d,\"identical\":true}}\n"
     quick
     (String.concat "," (List.map point_json points))
-    jobs1_s jobs8_s (jobs1_s /. jobs8_s);
+    jobs1_s jobs8_s (jobs1_s /. jobs8_s)
+    quotient_algos;
   close_out oc;
   Printf.printf "wrote %s\n%!" scale_file;
   if check then begin

@@ -357,20 +357,71 @@ let analyze_cmd =
     let doc = "Emit machine-readable JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let analyze_one ~json ~topology ~size_bytes ir =
+  let symmetry_arg =
+    let doc =
+      "Infer and certify rank-permutation symmetries and report the rank \
+       orbits; race queries then run on one representative per orbit."
+    in
+    Arg.(value & flag & info [ "symmetry" ] ~doc)
+  in
+  let hb_stats_json (st : Hbgraph.stats) =
+    Printf.sprintf
+      "{\"nodes\":%d,\"edges\":%d,\"small_closure\":%b,\"queries\":%d,\
+       \"orbit_hits\":%d,\"pos_cutoffs\":%d,\"local_hits\":%d,\
+       \"local_builds\":%d,\"row_hits\":%d,\"rows_built\":%d,\"dfs\":%d}"
+      st.Hbgraph.st_nodes st.Hbgraph.st_edges st.Hbgraph.st_small_closure
+      st.Hbgraph.st_queries st.Hbgraph.st_orbit_hits st.Hbgraph.st_pos_cutoffs
+      st.Hbgraph.st_local_hits st.Hbgraph.st_local_builds
+      st.Hbgraph.st_row_hits st.Hbgraph.st_rows_built st.Hbgraph.st_dfs
+  in
+  let analyze_one ~json ~symmetry ~topology ~size_bytes ir =
     match Perfcheck.lint ~topo:topology ~size_bytes ir with
     | exception Invalid_argument m ->
         prerr_endline m;
         input_error
     | report, diags ->
-        if json then
-          Printf.printf "{\"report\":%s,\"diagnostics\":%s}\n"
+        let sym =
+          if symmetry then Some (Msccl_analysis.Symmetry.infer ir) else None
+        in
+        if json then begin
+          (* Drive the race pass explicitly so the happens-before stats
+             (and, under --symmetry, the quotient counters) are real. *)
+          let hb =
+            Hbgraph.build
+              ~fifo_slots:(T.Protocol.num_slots ir.Ir.proto)
+              ir
+          in
+          let races =
+            match sym with
+            | Some s when Msccl_analysis.Symmetry.certified s ->
+                let orbit = s.Msccl_analysis.Symmetry.s_orbit in
+                Hbgraph.set_orbit hb orbit;
+                Races.find_quotient ~hb ~orbit ir
+            | _ -> Races.find ~hb ir
+          in
+          let sym_field =
+            match sym with
+            | None -> ""
+            | Some s ->
+                Printf.sprintf ",\"symmetry\":%s,\"races\":%d"
+                  (Msccl_analysis.Symmetry.report_json s)
+                  (List.length races)
+          in
+          Printf.printf
+            "{\"report\":%s,\"diagnostics\":%s,\"hbgraph_stats\":%s%s}\n"
             (Perfcheck.report_json report)
             (Lint.to_json diags)
+            (hb_stats_json (Hbgraph.stats hb))
+            sym_field
+        end
         else begin
           Format.printf "%s on %s@.%a@.%a@." (Ir.summary ir)
             (T.Topology.name topology)
             Analysis.pp (Analysis.analyze ir) Perfcheck.pp report;
+          (match sym with
+          | None -> ()
+          | Some s ->
+              Format.printf "%s@." (Msccl_analysis.Symmetry.report s));
           if diags <> [] then Format.printf "%a" Lint.pp diags
         end;
         ok
@@ -402,7 +453,7 @@ let analyze_cmd =
     ok
   in
   let run file algo all topo channels instances proto chunk_factor size json
-      jobs =
+      symmetry jobs =
     let size_bytes = int_of_float size in
     match (all, file, algo) with
     | true, _, _ -> sweep ~json ~size_bytes ?jobs ()
@@ -420,7 +471,7 @@ let analyze_cmd =
                 | exception Xml.Parse_error m ->
                     Printf.eprintf "parse error: %s\n" m;
                     input_error
-                | ir -> analyze_one ~json ~topology ~size_bytes ir)
+                | ir -> analyze_one ~json ~symmetry ~topology ~size_bytes ir)
             | None, Some a -> (
                 match
                   build_ir a
@@ -430,7 +481,7 @@ let analyze_cmd =
                 | Error msg ->
                     prerr_endline msg;
                     input_error
-                | Ok ir -> analyze_one ~json ~topology ~size_bytes ir)
+                | Ok ir -> analyze_one ~json ~symmetry ~topology ~size_bytes ir)
             | None, None ->
                 prerr_endline "need an XML file, --algo NAME, or --all";
                 input_error))
@@ -446,7 +497,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ algo_opt_arg $ all_arg $ topo_arg
       $ channels_arg $ instances_arg $ proto_arg $ chunk_factor_arg
-      $ size_arg $ json_arg $ jobs_arg)
+      $ size_arg $ json_arg $ symmetry_arg $ jobs_arg)
 
 let show_cmd =
   let stats_arg =
@@ -604,7 +655,7 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Restrict checking to one oracle (repeatable): exec, equiv, static, \
-       perf, roundtrip or chaos. Default: all six."
+       symmetry, perf, roundtrip or chaos. Default: all seven."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
@@ -646,7 +697,7 @@ let fuzz_cmd =
                   Error
                     (Printf.sprintf
                        "unknown oracle %S (expected exec, equiv, static, \
-                        perf, roundtrip or chaos)"
+                        symmetry, perf, roundtrip or chaos)"
                        n))
         in
         go [] names

@@ -1,11 +1,15 @@
 open Msccl_core
 
 let program ~num_ranks prog =
-  (* Gather: every rank q ships its copy of chunk r to rank r's scratch. *)
+  (* Gather: every rank q ships its copy of chunk r to rank r's scratch.
+     Scratch slots are keyed by the sender's offset relative to the
+     receiver, so every rank's local program (and its reduction chain
+     below) is identical up to rank rotation — the symmetry pass certifies
+     the shift automorphism and analyzes one representative rank. *)
   for r = 0 to num_ranks - 1 do
     for q = 0 to num_ranks - 1 do
       if q <> r then begin
-        let scratch_index = if q < r then q else q - 1 in
+        let scratch_index = ((q - r + num_ranks) mod num_ranks) - 1 in
         let c = Program.chunk prog ~rank:q Buffer_id.Input ~index:r () in
         ignore
           (Program.copy c ~rank:r Buffer_id.Scratch ~index:scratch_index ())

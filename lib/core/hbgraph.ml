@@ -17,6 +17,32 @@ type t = {
       (* one GPU's intra-GPU closure: rows.(a - lo) over columns b - lo.
          Only the most recent GPU is kept — race detection visits GPUs one
          at a time, so a single block bounds memory at k^2/8 bytes. *)
+  mutable orbit : Orbit.t option;
+      (* certified rank orbits: same-GPU queries on an orbit member are
+         answered on its representative's node range, so the per-GPU
+         closure and row caches are shared across the whole orbit *)
+  mutable q_queries : int;
+  mutable q_orbit_hits : int;
+  mutable q_pos_cutoffs : int;
+  mutable q_local_hits : int;
+  mutable q_local_builds : int;
+  mutable q_row_hits : int;
+  mutable q_rows_built : int;
+  mutable q_dfs : int;
+}
+
+type stats = {
+  st_nodes : int;
+  st_edges : int;
+  st_small_closure : bool;  (* full n^2-bit closure materialized *)
+  st_queries : int;
+  st_orbit_hits : int;
+  st_pos_cutoffs : int;
+  st_local_hits : int;
+  st_local_builds : int;
+  st_row_hits : int;
+  st_rows_built : int;
+  st_dfs : int;
 }
 
 (* Above this many nodes the n^2-bit closure is not worth its memory;
@@ -142,6 +168,32 @@ let build ?fifo_slots (ir : Ir.t) =
     row_order = Queue.create ();
     gpu_range = None;
     local_rows = None;
+    orbit = None;
+    q_queries = 0;
+    q_orbit_hits = 0;
+    q_pos_cutoffs = 0;
+    q_local_hits = 0;
+    q_local_builds = 0;
+    q_row_hits = 0;
+    q_rows_built = 0;
+    q_dfs = 0;
+  }
+
+let set_orbit t orbit = t.orbit <- if Orbit.is_identity orbit then None else Some orbit
+
+let stats t =
+  {
+    st_nodes = t.n;
+    st_edges = Array.fold_left (fun n l -> n + List.length l) 0 t.adj;
+    st_small_closure = t.closure <> None;
+    st_queries = t.q_queries;
+    st_orbit_hits = t.q_orbit_hits;
+    st_pos_cutoffs = t.q_pos_cutoffs;
+    st_local_hits = t.q_local_hits;
+    st_local_builds = t.q_local_builds;
+    st_row_hits = t.q_row_hits;
+    st_rows_built = t.q_rows_built;
+    st_dfs = t.q_dfs;
   }
 
 let compute_topo t =
@@ -407,29 +459,70 @@ let local_rows_of t pos gpu =
 
 let large_reaches t a b =
   match topo_order t with
-  | None -> dfs_reaches t a b  (* cyclic: conservative unpruned search *)
+  | None ->
+      t.q_dfs <- t.q_dfs + 1;
+      dfs_reaches t a b (* cyclic: conservative unpruned search *)
   | Some order ->
       let pos = pos_of t order in
-      if pos.(a) >= pos.(b) then false
+      if pos.(a) >= pos.(b) then begin
+        t.q_pos_cutoffs <- t.q_pos_cutoffs + 1;
+        false
+      end
       else begin
         let ga, _, _ = t.coords.(a) and gb, _, _ = t.coords.(b) in
         let locally_ordered =
           ga = gb
           &&
           let lo, _ = (gpu_range_of t).(ga) in
+          let fresh = match t.local_rows with
+            | Some (g, _) when g = ga -> false
+            | Some _ | None -> true
+          in
+          if fresh then t.q_local_builds <- t.q_local_builds + 1;
           test_bit (local_rows_of t pos ga).(a - lo) (b - lo)
         in
+        if locally_ordered then t.q_local_hits <- t.q_local_hits + 1;
         locally_ordered
         ||
         match Hashtbl.find_opt t.row_cache a with
-        | Some row -> test_bit row b
+        | Some row ->
+            t.q_row_hits <- t.q_row_hits + 1;
+            test_bit row b
         | None ->
+            t.q_dfs <- t.q_dfs + 1;
             let r, visits = pruned_reaches t pos a b in
-            if visits > row_visit_threshold then ignore (full_row t a);
+            if visits > row_visit_threshold then begin
+              t.q_rows_built <- t.q_rows_built + 1;
+              ignore (full_row t a)
+            end;
             r
       end
 
+(* Same-GPU queries on an orbit member are answered on the orbit's
+   representative: the certified automorphism maps the member's node
+   (gpu, tb, step) to the representative's (rep gpu, rep tb, step) and
+   preserves every happens-before path (including those routed through
+   other GPUs), so the answer is identical — and the per-GPU bitset
+   closure, full-row cache and DFS work are all shared across the
+   orbit instead of being recomputed per rank. *)
+let orbit_image t (o : Orbit.t) gpu a =
+  let _, tb, step = t.coords.(a) in
+  node t ~gpu:o.Orbit.rep.(gpu) ~tb:o.Orbit.tb_to_rep.(gpu).(tb) ~step
+
 let reaches t a b =
+  t.q_queries <- t.q_queries + 1;
+  let a, b =
+    match t.orbit with
+    | None -> (a, b)
+    | Some o ->
+        let ga, _, _ = t.coords.(a) and gb, _, _ = t.coords.(b) in
+        if ga = gb && ga < Array.length o.Orbit.rep && o.Orbit.rep.(ga) <> ga
+        then begin
+          t.q_orbit_hits <- t.q_orbit_hits + 1;
+          (orbit_image t o ga a, orbit_image t o gb b)
+        end
+        else (a, b)
+  in
   if t.n > closure_limit then large_reaches t a b
   else
     match t.closure with
@@ -437,7 +530,9 @@ let reaches t a b =
         Char.code (Bytes.get rows.(a) (b lsr 3)) land (1 lsl (b land 7)) <> 0
     | None -> (
         match topo_order t with
-        | None -> dfs_reaches t a b
+        | None ->
+            t.q_dfs <- t.q_dfs + 1;
+            dfs_reaches t a b
         | Some order ->
             let rows = compute_closure t order in
             t.closure <- Some rows;

@@ -357,7 +357,32 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
   let assigned = ref 0 in
   let global = ref 0 in
   let pending = Queue.create () in
-  let pick_local_tb rank =
+  (* Local (no-connection) instructions go to the thread block of the
+     dependency that produced their operand, preferring a receiving
+     dependency: a local reduce lands in the block that received the data,
+     which drops a cross-block sync and keeps placement invariant under
+     rank renumbering (the symmetry pass certifies exactly this). Only
+     when no same-rank dependency exists do we fall back to the
+     least-recently-used block. *)
+  let affinity_tb (i : Instr.t) =
+    let pick best id =
+      match instr_tb.(id) with
+      | Some tb when tb.tb_rank = i.Instr.rank ->
+          let d = instrs.(id) in
+          let score =
+            ((if Instr.receives d.Instr.op then 1 else 0), depth.(id), -id)
+          in
+          (match best with
+          | Some (bscore, _) when bscore >= score -> best
+          | Some _ | None -> Some (score, tb))
+      | Some _ | None -> best
+    in
+    match List.fold_left pick None i.Instr.deps with
+    | Some (_, tb) -> Some tb
+    | None -> None
+  in
+  let pick_local_tb (i : Instr.t) =
+    let rank = i.Instr.rank in
     match rank_tbs.(rank) with
     | [] -> (
         match local_tb.(rank) with
@@ -367,11 +392,14 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
             local_tb.(rank) <- Some tb;
             rank_tbs.(rank) <- [ tb ];
             tb)
-    | tbs ->
-        List.fold_left
-          (fun best tb ->
-            if tb.last_global < best.last_global then tb else best)
-          (List.hd tbs) tbs
+    | tbs -> (
+        match affinity_tb i with
+        | Some tb -> tb
+        | None ->
+            List.fold_left
+              (fun best tb ->
+                if tb.last_global < best.last_global then tb else best)
+              (List.hd tbs) tbs)
   in
   (* Try to place an instruction; defers it when FIFO order on its receive
      connection or FIFO slot back-pressure on its send connection forbids
@@ -412,7 +440,7 @@ let run ?(proto = Msccl_topology.Protocol.Simple) ?name ?slots
       let tb =
         match Hashtbl.find_opt tb_of_instr i.Instr.id with
         | Some tb -> tb
-        | None -> pick_local_tb i.Instr.rank
+        | None -> pick_local_tb i
       in
       instr_tb.(i.Instr.id) <- Some tb;
       instr_step.(i.Instr.id) <- tb.nsteps;

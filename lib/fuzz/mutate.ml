@@ -48,3 +48,17 @@ let break_fusion (ir : Ir.t) =
   | Some ir -> ir
   | None -> (
       match map_step_once drop_rrc ir with Some ir -> ir | None -> ir)
+
+let break_symmetry (ir : Ir.t) =
+  let bump (st : Ir.step) =
+    match st.Ir.op with
+    | Instr.Nop -> None
+    | _ ->
+        let dst =
+          Option.map
+            (fun (l : Loc.t) -> { l with Loc.count = l.Loc.count + 1 })
+            st.Ir.dst
+        in
+        Some { st with Ir.count = st.Ir.count + 1; Ir.dst = dst }
+  in
+  match map_step_once bump ir with Some ir -> ir | None -> ir

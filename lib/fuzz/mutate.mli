@@ -13,3 +13,13 @@ val break_fusion : Msccl_core.Ir.t -> Msccl_core.Ir.t
     computes is wrong, which is exactly what the execution oracle must
     catch. Returns the IR unchanged when it contains no reducing receive
     at all. *)
+
+val break_symmetry : Msccl_core.Ir.t -> Msccl_core.Ir.t
+(** Simulates a rank-divergence bug: the first non-[Nop] step (which, in
+    gpu/tb/step order, perturbs exactly one rank's program) has its chunk
+    count — and its destination footprint, when it has one — grown by
+    one. Any rank-permutation symmetry the program had is broken: every
+    candidate generator moves every rank, so certification must now
+    reject with a violation at that step, and quotient analyses must fall
+    back to the full per-rank pass. Returns the IR unchanged when every
+    step is a [Nop]. *)

@@ -4,16 +4,18 @@ type id =
   | Exec
   | Equiv
   | Static
+  | Symmetry
   | Perf
   | Roundtrip
   | Chaos
 
-let all = [ Exec; Equiv; Static; Perf; Roundtrip; Chaos ]
+let all = [ Exec; Equiv; Static; Symmetry; Perf; Roundtrip; Chaos ]
 
 let id_name = function
   | Exec -> "exec"
   | Equiv -> "equiv"
   | Static -> "static"
+  | Symmetry -> "symmetry"
   | Perf -> "perf"
   | Roundtrip -> "roundtrip"
   | Chaos -> "chaos"
@@ -22,6 +24,7 @@ let id_of_name = function
   | "exec" -> Some Exec
   | "equiv" -> Some Equiv
   | "static" -> Some Static
+  | "symmetry" -> Some Symmetry
   | "perf" -> Some Perf
   | "roundtrip" -> Some Roundtrip
   | "chaos" -> Some Chaos
@@ -198,6 +201,47 @@ let check_static (ir : Ir.t) =
           | [] -> Ok ()))
 
 (* ------------------------------------------------------------------ *)
+(* Symmetry: quotient race detection must equal the full pass          *)
+(* ------------------------------------------------------------------ *)
+
+(* Soundness of the quotient pipeline, end to end: infer + certify rank
+   orbits, run races through the quotient, and demand the result is
+   identical to the full per-rank sweep. Then break one rank's program
+   ({!Mutate.break_symmetry}) and demand certification notices — a stale
+   or wrongly-certified orbit is exactly the bug class that would make
+   quotient analyses silently under-report. *)
+let check_symmetry (ir : Ir.t) =
+  let ( let* ) = Result.bind in
+  let quotient_matches label ir =
+    let s = Msccl_analysis.Symmetry.infer ir in
+    let full = Races.find ir in
+    let quot =
+      Races.find_quotient ~orbit:s.Msccl_analysis.Symmetry.s_orbit ir
+    in
+    if full <> quot then
+      fail Symmetry
+        "quotient races diverge from the full pass on %s (%d vs %d \
+         finding(s); %d orbit(s) over %d rank(s))"
+        label (List.length quot) (List.length full)
+        (Orbit.num_orbits s.Msccl_analysis.Symmetry.s_orbit)
+        (Ir.num_ranks ir)
+    else Ok s
+  in
+  let* _ = quotient_matches "the compiled IR" ir in
+  let broken = Mutate.break_symmetry ir in
+  if broken == ir then Ok () (* nothing to perturb (all-Nop program) *)
+  else
+    let* s' = quotient_matches "the broken-symmetry mutant" broken in
+    if Msccl_analysis.Symmetry.certified s' then
+      fail Symmetry
+        "certification survived a broken-symmetry mutant (generators: %s)"
+        (String.concat ", "
+           (List.map
+              (fun g -> g.Msccl_analysis.Symmetry.g_name)
+              s'.Msccl_analysis.Symmetry.s_generators))
+    else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Perf: simulated time must respect the lower-bound certificate       *)
 (* ------------------------------------------------------------------ *)
 
@@ -309,6 +353,7 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
         | Exec -> check_exec (Lazy.force primary)
         | Equiv -> check_equiv ~compile c
         | Static -> check_static (Lazy.force primary)
+        | Symmetry -> check_symmetry (Lazy.force primary)
         | Perf -> check_perf c (Lazy.force primary)
         | Roundtrip -> check_roundtrip (Lazy.force primary)
         | Chaos -> check_chaos c (Lazy.force primary))

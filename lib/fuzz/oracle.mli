@@ -17,6 +17,13 @@ type id =
       (** {!Msccl_core.Verify.check}, {!Msccl_core.Races.find} and
           {!Msccl_core.Lint.run} must all report clean (lint: no
           error-severity findings) on compiler output. *)
+  | Symmetry
+      (** {!Msccl_core.Races.find_quotient} under inferred-and-certified
+          rank orbits must report exactly what {!Msccl_core.Races.find}
+          reports — on the compiled IR and on a
+          {!Mutate.break_symmetry} mutant, where certification must also
+          notice the broken symmetry and fall back rather than silently
+          under-report. *)
   | Perf
       (** The simulated completion time can never beat the
           {!Msccl_core.Perfcheck} α–β–γ lower-bound certificate. *)
@@ -30,11 +37,12 @@ type id =
           IR (so the executor's output is unchanged). *)
 
 val all : id list
-(** In checking order: [Exec; Equiv; Static; Perf; Roundtrip; Chaos]. *)
+(** In checking order:
+    [Exec; Equiv; Static; Symmetry; Perf; Roundtrip; Chaos]. *)
 
 val id_name : id -> string
-(** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["perf"],
-    ["roundtrip"], ["chaos"]. *)
+(** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["symmetry"],
+    ["perf"], ["roundtrip"], ["chaos"]. *)
 
 val id_of_name : string -> id option
 

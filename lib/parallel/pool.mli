@@ -10,8 +10,11 @@
     The pool is created per call (domains are cheap relative to the
     sweeps this is used for: compiling or fuzzing whole algorithm
     registries). [jobs <= 1] bypasses domains entirely and runs a plain
-    sequential loop, which is also the fallback when the runtime has a
-    single core. *)
+    sequential loop. The requested job count is clamped to
+    [Domain.recommended_domain_count ()] — oversubscribing a host's cores
+    only adds scheduling overhead — and batches of fewer than four items
+    run inline, since a domain spawn costs more than the work it would
+    take. Neither shortcut changes the output, only the schedule. *)
 
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: [MSCCL_JOBS] when set to a

@@ -1,0 +1,366 @@
+(* Symmetry inference, certification and quotient-analysis soundness.
+
+   The load-bearing property: [Races.find_quotient] under an orbit
+   produced by [Symmetry.infer] must report exactly what [Races.find]
+   reports — on clean registry output, on symmetrically-mutated programs
+   with real races, and (via fallback to the identity partition) on
+   mutants that break the symmetry of a single rank. *)
+
+module A = Msccl_analysis
+module H = Msccl_harness
+module F = Msccl_fuzz
+module Q = QCheck
+open Msccl_core
+
+let build ?(nodes = 1) ?(gpus = 8) name =
+  let spec = Option.get (H.Registry.find name) in
+  spec.H.Registry.build
+    { H.Registry.default_params with nodes; gpus_per_node = gpus }
+
+(* ------------------------------------------------------------------ *)
+(* Inference on the registry                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_inference () =
+  (* algo, nodes, gpus, expected certified, expected orbit count *)
+  let expect =
+    [
+      ("ring-allreduce", 1, 8, true, 1);
+      ("allpairs-allreduce", 1, 8, true, 1);
+      ("ring-allgather", 1, 8, true, 1);
+      ("ring-reducescatter", 1, 8, true, 1);
+      ("hierarchical-allreduce", 2, 4, true, 2);
+      ("halving-doubling", 1, 8, true, 4);
+      ("naive-alltoall", 1, 8, false, 8);
+      ("tree-allreduce", 1, 8, false, 8);
+      ("double-binary-tree", 1, 8, false, 8);
+    ]
+  in
+  List.iter
+    (fun (name, nodes, gpus, certified, orbits) ->
+      let s = A.Symmetry.infer (build ~nodes ~gpus name) in
+      Alcotest.(check bool)
+        (name ^ " certified") certified
+        (A.Symmetry.certified s);
+      Alcotest.(check int)
+        (name ^ " orbits") orbits
+        (Orbit.num_orbits s.A.Symmetry.s_orbit);
+      match Orbit.check_shape (build ~nodes ~gpus name) s.A.Symmetry.s_orbit with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: malformed orbit: %s" name m)
+    expect
+
+let test_asymmetric_has_witness () =
+  let s = A.Symmetry.infer (build "naive-alltoall") in
+  Alcotest.(check bool)
+    "not certified" false (A.Symmetry.certified s);
+  match s.A.Symmetry.s_rejected with
+  | [] -> Alcotest.fail "expected a rejection witness"
+  | v :: _ ->
+      Alcotest.(check bool)
+        "witness names a rank" true
+        (v.A.Symmetry.v_rank >= 0);
+      Alcotest.(check bool)
+        "message nonempty" true
+        (String.length (A.Symmetry.violation_message v) > 0)
+
+let test_verify_candidate_direct () =
+  let ir = build ~gpus:4 "ring-allreduce" in
+  let identity = Array.init 4 Fun.id in
+  (match A.Symmetry.verify_candidate ir ~name:"id" identity with
+  | Ok g -> Alcotest.(check string) "name kept" "id" g.A.Symmetry.g_name
+  | Error v ->
+      Alcotest.failf "identity rejected: %s" (A.Symmetry.violation_message v));
+  (* Swapping two ranks of a directed ring reverses one edge: not an
+     automorphism. *)
+  match A.Symmetry.verify_candidate ir ~name:"swap" [| 1; 0; 2; 3 |] with
+  | Ok _ -> Alcotest.fail "rank swap certified on a directed ring"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Golden orbit reports                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_ring_64 () =
+  let s = A.Symmetry.infer (build ~nodes:8 ~gpus:8 "ring-allreduce") in
+  let lines =
+    [
+      "symmetry: 64 ranks, fingerprint period 1";
+      "certified generators: shift+1";
+      "orbits: 1 (of 64 ranks)";
+      "  rank 0 x64: 0,1,2,3,4,5,6,7,...";
+    ]
+  in
+  let report = A.Symmetry.report s in
+  List.iteri
+    (fun i want ->
+      let got = List.nth (String.split_on_char '\n' report) i in
+      Alcotest.(check string) (Printf.sprintf "line %d" i) want got)
+    lines
+
+let test_golden_hierarchical_64 () =
+  let s =
+    A.Symmetry.infer (build ~nodes:8 ~gpus:8 "hierarchical-allreduce")
+  in
+  let report = A.Symmetry.report s in
+  let lines = String.split_on_char '\n' report in
+  Alcotest.(check string)
+    "header" "symmetry: 64 ranks, fingerprint period 64" (List.nth lines 0);
+  Alcotest.(check string)
+    "generators" "certified generators: intra+1/8" (List.nth lines 1);
+  Alcotest.(check string)
+    "orbit count" "orbits: 8 (of 64 ranks)" (List.nth lines 2);
+  Alcotest.(check string)
+    "first orbit" "  rank 0 x8: 0,1,2,3,4,5,6,7" (List.nth lines 3);
+  Alcotest.(check string)
+    "last orbit" "  rank 56 x8: 56,57,58,59,60,61,62,63" (List.nth lines 10)
+
+let test_report_json_parses () =
+  let s = A.Symmetry.infer (build ~nodes:2 ~gpus:4 "hierarchical-allreduce") in
+  let json = A.Symmetry.report_json s in
+  (* Structural smoke checks; full JSON parsing lives in CI tooling. *)
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %s" needle)
+        true
+        (let n = String.length needle and m = String.length json in
+         let rec go i =
+           i + n <= m && (String.sub json i n = needle || go (i + 1))
+         in
+         go 0))
+    [
+      "\"ranks\":8"; "\"certified\":true"; "\"orbits\":"; "\"rep\":0";
+      "\"size\":4"; "\"generators\":"; "intra+1/4";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Quotient races = full races                                         *)
+(* ------------------------------------------------------------------ *)
+
+let check_quotient_equals_full name ir =
+  let s = A.Symmetry.infer ir in
+  let full = Races.find ir in
+  let quot = Races.find_quotient ~orbit:s.A.Symmetry.s_orbit ir in
+  if full <> quot then
+    Alcotest.failf "%s: quotient %d race(s) <> full %d race(s)" name
+      (List.length quot) (List.length full);
+  s
+
+let test_quotient_registry_clean () =
+  List.iter
+    (fun spec ->
+      let name = spec.H.Registry.name in
+      match build ~nodes:2 ~gpus:4 name with
+      | exception _ -> () (* shape unsupported by this algorithm *)
+      | ir -> ignore (check_quotient_equals_full name ir))
+    H.Registry.all
+
+(* Clear the [depends] list at one orbit-mapped coordinate on every rank:
+   a symmetry-preserving corruption, so certification still succeeds and
+   the quotient pass must reproduce the full pass's races exactly. *)
+let drop_dep_along_orbit (ir : Ir.t) (orbit : Orbit.t) ~tb ~step =
+  let gpus =
+    Array.mapi
+      (fun m (g : Ir.gpu) ->
+        let mtb = orbit.Orbit.tb_of_rep.(m).(tb) in
+        {
+          g with
+          Ir.tbs =
+            Array.map
+              (fun (t : Ir.tb) ->
+                if t.Ir.tb_id <> mtb then t
+                else
+                  {
+                    t with
+                    Ir.steps =
+                      Array.map
+                        (fun (st : Ir.step) ->
+                          if st.Ir.s = step then { st with Ir.depends = [] }
+                          else st)
+                        t.Ir.steps;
+                  })
+              g.Ir.tbs;
+        })
+      ir.Ir.gpus
+  in
+  { ir with Ir.gpus }
+
+(* First (tb, step) of rank 0 carrying a cross-thread-block dependency. *)
+let first_dep_site (ir : Ir.t) =
+  let found = ref None in
+  Array.iter
+    (fun (t : Ir.tb) ->
+      Array.iter
+        (fun (st : Ir.step) ->
+          if !found = None && st.Ir.depends <> [] then
+            found := Some (t.Ir.tb_id, st.Ir.s))
+        t.Ir.steps)
+    ir.Ir.gpus.(0).Ir.tbs;
+  !found
+
+let test_quotient_with_races () =
+  let ir = build "allpairs-allreduce" in
+  let s0 = A.Symmetry.infer ir in
+  Alcotest.(check bool) "base certified" true (A.Symmetry.certified s0);
+  match first_dep_site ir with
+  | None -> Alcotest.fail "allpairs has no dependency to drop"
+  | Some (tb, step) ->
+      let racy = drop_dep_along_orbit ir s0.A.Symmetry.s_orbit ~tb ~step in
+      let s = check_quotient_equals_full "allpairs+dropped-dep" racy in
+      Alcotest.(check bool)
+        "still certified" true (A.Symmetry.certified s);
+      Alcotest.(check bool)
+        "races found" true
+        (Races.find racy <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Property: equality holds across random sites and broken mutants     *)
+(* ------------------------------------------------------------------ *)
+
+let sym_algos =
+  [|
+    ("ring-allreduce", 1, 8); ("allpairs-allreduce", 1, 8);
+    ("ring-allgather", 1, 6); ("hierarchical-allreduce", 2, 4);
+    ("halving-doubling", 1, 8); ("ring-reducescatter", 1, 4);
+  |]
+
+let qcheck_quotient_differential =
+  let gen =
+    Q.Gen.(
+      pair (int_bound (Array.length sym_algos - 1)) (pair (int_bound 40) bool))
+  in
+  let arb = Q.make ~print:Q.Print.(pair int (pair int bool)) gen in
+  Q.Test.make ~name:"find_quotient = find (symmetric + broken mutants)"
+    ~count:25 arb (fun (ai, (site, break_rank)) ->
+      let name, nodes, gpus = sym_algos.(ai) in
+      let ir = build ~nodes ~gpus name in
+      let s0 = A.Symmetry.infer ir in
+      (* Symmetric corruption at a pseudo-random dependency site. *)
+      let dep_sites =
+        let acc = ref [] in
+        Array.iter
+          (fun (t : Ir.tb) ->
+            Array.iter
+              (fun (st : Ir.step) ->
+                if st.Ir.depends <> [] then acc := (t.Ir.tb_id, st.Ir.s) :: !acc)
+              t.Ir.steps)
+          ir.Ir.gpus.(0).Ir.tbs;
+        Array.of_list (List.rev !acc)
+      in
+      let ir =
+        if Array.length dep_sites = 0 || not (A.Symmetry.certified s0) then ir
+        else
+          let tb, step = dep_sites.(site mod Array.length dep_sites) in
+          drop_dep_along_orbit ir s0.A.Symmetry.s_orbit ~tb ~step
+      in
+      let ir = if break_rank then F.Mutate.break_symmetry ir else ir in
+      let s = A.Symmetry.infer ir in
+      (* Soundness: identical findings, whether certified or fallen back. *)
+      let full = Races.find ir in
+      let quot = Races.find_quotient ~orbit:s.A.Symmetry.s_orbit ir in
+      if full <> quot then
+        Q.Test.fail_reportf "%s: quotient %d <> full %d" name
+          (List.length quot) (List.length full);
+      (* Detection: a single perturbed rank can never stay certified. *)
+      if break_rank && A.Symmetry.certified s then
+        Q.Test.fail_reportf "%s: certification survived a one-rank mutation"
+          name;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Lint orbit dedup                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_orbit_dedup () =
+  let ir = build "allpairs-allreduce" in
+  let s0 = A.Symmetry.infer (build "allpairs-allreduce") in
+  let tb, step = Option.get (first_dep_site ir) in
+  let racy = drop_dep_along_orbit ir s0.A.Symmetry.s_orbit ~tb ~step in
+  let s = A.Symmetry.infer racy in
+  Alcotest.(check bool) "certified" true (A.Symmetry.certified s);
+  let plain = Lint.run racy in
+  let deduped = Lint.run ~orbit:s.A.Symmetry.s_orbit racy in
+  let races ds =
+    List.filter (fun d -> d.Lint.d_rule = "race") ds |> List.length
+  in
+  Alcotest.(check bool) "full lint sees races" true (races plain > 0);
+  Alcotest.(check int)
+    "orbit dedup reports one per orbit"
+    (races plain / 8)
+    (races deduped);
+  let suffixed =
+    List.exists
+      (fun d ->
+        d.Lint.d_rule = "race"
+        &&
+        let m = d.Lint.d_message and needle = "(and 7 symmetric ranks)" in
+        let n = String.length needle and l = String.length m in
+        let rec go i = i + n <= l && (String.sub m i n = needle || go (i + 1)) in
+        go 0)
+      deduped
+  in
+  Alcotest.(check bool) "suffix present" true suffixed;
+  (* Identity orbit must be byte-identical to the default. *)
+  Alcotest.(check bool)
+    "identity orbit is a no-op" true
+    (Lint.run ~orbit:(Orbit.identity racy) racy = plain)
+
+(* ------------------------------------------------------------------ *)
+(* Hbgraph stats plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_hbgraph_stats () =
+  let ir = build ~gpus:4 "allpairs-allreduce" in
+  let hb =
+    Hbgraph.build
+      ~fifo_slots:(Msccl_topology.Protocol.num_slots ir.Ir.proto)
+      ir
+  in
+  let before = Hbgraph.stats hb in
+  Alcotest.(check int) "no queries yet" 0 before.Hbgraph.st_queries;
+  Alcotest.(check bool) "nodes counted" true (before.Hbgraph.st_nodes > 0);
+  Alcotest.(check bool) "edges counted" true (before.Hbgraph.st_edges > 0);
+  ignore (Races.find ~hb ir);
+  let after = Hbgraph.stats hb in
+  Alcotest.(check bool) "queries counted" true (after.Hbgraph.st_queries > 0);
+  (* Orbit translation fires on same-GPU queries from non-representative
+     ranks once an orbit is installed. *)
+  let s = A.Symmetry.infer ir in
+  Alcotest.(check bool) "certified" true (A.Symmetry.certified s);
+  Hbgraph.set_orbit hb s.A.Symmetry.s_orbit;
+  ignore (Races.find ~hb ir);
+  let final = Hbgraph.stats hb in
+  Alcotest.(check bool)
+    "orbit hits counted" true
+    (final.Hbgraph.st_orbit_hits > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "inference",
+        [
+          Testutil.tc "registry inference" test_registry_inference;
+          Testutil.tc "asymmetric witness" test_asymmetric_has_witness;
+          Testutil.tc "verify_candidate direct" test_verify_candidate_direct;
+        ] );
+      ( "reports",
+        [
+          Testutil.tc "golden ring@64" test_golden_ring_64;
+          Testutil.tc "golden hierarchical@64" test_golden_hierarchical_64;
+          Testutil.tc "json report" test_report_json_parses;
+        ] );
+      ( "quotient",
+        [
+          Testutil.tc "registry clean" test_quotient_registry_clean;
+          Testutil.tc "with races" test_quotient_with_races;
+          QCheck_alcotest.to_alcotest qcheck_quotient_differential;
+        ] );
+      ( "integration",
+        [
+          Testutil.tc "lint orbit dedup" test_lint_orbit_dedup;
+          Testutil.tc "hbgraph stats" test_hbgraph_stats;
+        ] );
+    ]
