@@ -212,6 +212,11 @@ type scale_point = {
   sp_races_q_s : float;
   sp_lint_s : float;
   sp_lint_q_s : float;
+  (* Static chunk-provenance verification, full interpretation vs the
+     orbit quotient; verdicts are asserted identical (and clean) before
+     the times are recorded. *)
+  sp_prov_s : float;
+  sp_prov_q_s : float;
   sp_orbits : int;
 }
 
@@ -256,6 +261,26 @@ let scale_point sp_algo sp_ranks build =
   let t8 = wall () in
   if Lint.has_errors lint_full || Lint.has_errors lint_q then
     failwith (sp_algo ^ ": lint errors at scale");
+  let prov_full = Msccl_analysis.Provenance.analyze ~lints:false ir in
+  let t9 = wall () in
+  let prov_q =
+    Msccl_analysis.Provenance.analyze ~symmetry:sym ~lints:false ir
+  in
+  let t10 = wall () in
+  (match
+     ( prov_full.Msccl_analysis.Provenance.r_diags,
+       prov_q.Msccl_analysis.Provenance.r_diags )
+   with
+  | [], [] -> ()
+  | _ :: _, _ ->
+      failwith (sp_algo ^ ": static provenance diagnostics at scale")
+  | [], _ :: _ ->
+      failwith (sp_algo ^ ": quotient provenance diverges from the full pass"));
+  let prov_mode =
+    match prov_q.Msccl_analysis.Provenance.r_mode with
+    | Msccl_analysis.Provenance.Full -> "full-fallback"
+    | Msccl_analysis.Provenance.Quotient _ -> "quotient"
+  in
   let p =
     {
       sp_algo;
@@ -270,19 +295,24 @@ let scale_point sp_algo sp_ranks build =
       sp_races_q_s = t6 -. t5;
       sp_lint_s = t7 -. t6;
       sp_lint_q_s = t8 -. t7;
+      sp_prov_s = t9 -. t8;
+      sp_prov_q_s = t10 -. t9;
       sp_orbits = Orbit.num_orbits orbit;
     }
   in
   Printf.printf
     "compile %.2fs  verify %.2fs  races %.2fs  simulate %.2fs  total %.2fs \
      (%d steps, %.0f events/s)\n       symmetry: infer %.2fs  %d orbit(s)  \
-     races_q %.2fs (%.1fx)  lint %.2fs  lint_q %.2fs\n%!"
+     races_q %.2fs (%.1fx)  lint %.2fs  lint_q %.2fs  prov %.2fs  \
+     prov_q %.2fs (%.1fx, %s)\n%!"
     p.sp_compile_s p.sp_verify_s p.sp_races_s p.sp_simulate_s p.sp_total_s
     (Ir.num_steps ir)
     (float_of_int p.sp_events /. p.sp_simulate_s)
     p.sp_infer_s p.sp_orbits p.sp_races_q_s
     (p.sp_races_s /. Float.max p.sp_races_q_s 1e-9)
-    p.sp_lint_s p.sp_lint_q_s;
+    p.sp_lint_s p.sp_lint_q_s p.sp_prov_s p.sp_prov_q_s
+    (p.sp_prov_s /. Float.max p.sp_prov_q_s 1e-9)
+    prov_mode;
   p
 
 let scale_points ~quick =
@@ -310,11 +340,13 @@ let point_json p =
     "{\"algo\":\"%s\",\"ranks\":%d,\"compile_s\":%.3f,\"verify_s\":%.3f,\
      \"races_s\":%.3f,\"simulate_s\":%.3f,\"total_s\":%.3f,\"events\":%d,\
      \"events_per_s\":%.0f,\"symmetry_infer_s\":%.3f,\"races_quotient_s\":%.3f,\
-     \"lint_s\":%.3f,\"lint_quotient_s\":%.3f,\"orbits\":%d}"
+     \"lint_s\":%.3f,\"lint_quotient_s\":%.3f,\"provenance_s\":%.3f,\
+     \"provenance_quotient_s\":%.3f,\"orbits\":%d}"
     p.sp_algo p.sp_ranks p.sp_compile_s p.sp_verify_s p.sp_races_s
     p.sp_simulate_s p.sp_total_s p.sp_events
     (float_of_int p.sp_events /. p.sp_simulate_s)
-    p.sp_infer_s p.sp_races_q_s p.sp_lint_s p.sp_lint_q_s p.sp_orbits
+    p.sp_infer_s p.sp_races_q_s p.sp_lint_s p.sp_lint_q_s p.sp_prov_s
+    p.sp_prov_q_s p.sp_orbits
 
 (* Minimal extraction from our own fixed serialization: every point object
    starts with {"algo": and carries a "total_s" field before its '}'. *)
@@ -367,8 +399,9 @@ let baseline_points path =
 
 (* Whole-registry quotient soundness gate: for every registered
    algorithm at its default shape, quotient race findings must equal the
-   full pass's. Certification failures are fine (the quotient degenerates
-   to the full pass); divergence is a hard failure. *)
+   full pass's, and the quotient provenance verdict must equal the full
+   one. Certification failures are fine (the quotient degenerates to the
+   full pass); divergence is a hard failure. *)
 let quotient_registry_gate () =
   let t0 = wall () in
   let checked = ref 0 in
@@ -383,6 +416,15 @@ let quotient_registry_gate () =
             failwith
               (spec.H.Registry.name
              ^ ": quotient races diverge from the full pass");
+          (match
+             ( Msccl_analysis.Provenance.check ir,
+               Msccl_analysis.Provenance.check ~symmetry:s ir )
+           with
+          | Ok (), Ok () -> ()
+          | _ ->
+              failwith
+                (spec.H.Registry.name
+               ^ ": provenance verdicts diverge on registry output"));
           incr checked)
     H.Registry.all;
   Printf.printf

@@ -207,43 +207,167 @@ let xml_file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
 
 let verify_cmd =
+  let file_arg =
+    let doc = "MSCCL-IR XML file to verify." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let algo_opt_arg =
+    let doc = "Verify a registered algorithm (compiled in-process) instead \
+               of a file." in
+    Arg.(value & opt (some string) None & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let all_arg =
+    let doc = "With $(b,--static): sweep every registered algorithm \
+               through the provenance verifier (single-node and two-node \
+               shapes)." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let static_arg =
+    let doc =
+      "Use the static chunk-provenance dataflow verifier instead of \
+       symbolic execution: abstract interpretation classifies every wrong \
+       output slot (missing / duplicated contribution, \
+       overwritten-before-read, never-written...) with the instruction \
+       that caused it, and runs the dataflow liveness lints. Inferred \
+       rank symmetries quotient the pass to representative ranks."
+    in
+    Arg.(value & flag & info [ "static" ] ~doc)
+  in
   let json_arg =
     let doc = "Emit machine-readable JSON (the same diagnostic shape as \
-               $(b,msccl lint --json): an empty array on success)." in
+               $(b,msccl lint --json): an empty array on success; with \
+               $(b,--static), the full provenance report)." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run file json =
-    match Xml.load file with
-    | exception Xml.Parse_error m ->
-        Printf.eprintf "parse error: %s\n" m;
+  let mode_string = function
+    | Msccl_analysis.Provenance.Full -> "full"
+    | Msccl_analysis.Provenance.Quotient { orbits; interpreted_ranks } ->
+        Printf.sprintf "quotient (%d orbit(s), %d rank(s) interpreted)"
+          orbits interpreted_ranks
+  in
+  let static_one ~json ir =
+    let s = Msccl_analysis.Symmetry.infer ir in
+    let r = Msccl_analysis.Provenance.analyze ~symmetry:s ir in
+    let open Msccl_analysis.Provenance in
+    if json then print_endline (report_json r)
+    else begin
+      if r.r_diags = [] then
+        Printf.printf
+          "%s: OK (static provenance, %s mode; %d step(s) interpreted, %d \
+           output slot(s) checked)\n"
+          (Ir.summary ir) (mode_string r.r_mode) r.r_steps_interpreted
+          r.r_slots_checked
+      else begin
+        Printf.eprintf "%s: FAILED (static provenance, %s mode)\n"
+          (Ir.summary ir) (mode_string r.r_mode);
+        List.iter
+          (fun d -> Format.eprintf "  %a@." pp_diag d)
+          r.r_diags
+      end;
+      if r.r_lints <> [] then Format.printf "%a" Lint.pp r.r_lints
+    end;
+    if r.r_diags <> [] || Lint.has_errors r.r_lints then finding_error
+    else ok
+  in
+  let static_sweep ~json () =
+    let shapes = [ (1, 8); (2, 4) ] in
+    let entries = ref [] in
+    let bad = ref false in
+    List.iter
+      (fun spec ->
+        let name = spec.H.Registry.name in
+        List.iter
+          (fun (nodes, gpus) ->
+            match
+              spec.H.Registry.build
+                { H.Registry.default_params with nodes; gpus_per_node = gpus }
+            with
+            | exception _ -> () (* shape unsupported by this algorithm *)
+            | ir ->
+                let s = Msccl_analysis.Symmetry.infer ir in
+                let r = Msccl_analysis.Provenance.analyze ~symmetry:s ir in
+                let open Msccl_analysis.Provenance in
+                let failed =
+                  r.r_diags <> [] || Lint.has_errors r.r_lints
+                in
+                if failed then bad := true;
+                if json then
+                  entries :=
+                    Printf.sprintf
+                      "{\"algo\":\"%s\",\"nodes\":%d,\"gpus\":%d,\"report\":%s}"
+                      (Lint.json_escape name) nodes gpus (report_json r)
+                    :: !entries
+                else begin
+                  Printf.printf "%-24s %dx%d  %-9s %s\n" name nodes gpus
+                    (if failed then "FAILED" else "ok")
+                    (mode_string r.r_mode);
+                  if failed then
+                    List.iter
+                      (fun d -> Format.printf "  %a@." pp_diag d)
+                      r.r_diags
+                end)
+          shapes)
+      H.Registry.all;
+    if json then
+      print_endline ("[" ^ String.concat "," (List.rev !entries) ^ "]");
+    if !bad then finding_error else ok
+  in
+  let run file algo all static json =
+    let load_input () =
+      match (file, algo) with
+      | Some f, _ -> (
+          match Xml.load f with
+          | exception Xml.Parse_error m -> Error ("parse error: " ^ m)
+          | ir -> Ok ir)
+      | None, Some a -> build_ir a H.Registry.default_params
+      | None, None -> Error "need an XML file, --algo NAME, or --all"
+    in
+    if all then
+      if static then static_sweep ~json ()
+      else begin
+        prerr_endline "--all requires --static";
         input_error
-    | ir -> (
-        match Verify.check ir with
-        | Ok () ->
-            if json then print_endline "[]"
-            else
-              Printf.printf
-                "%s: OK (postcondition, deadlock-freedom, structure)\n"
-                (Ir.summary ir);
-            ok
-        | Error msg ->
-            if json then
-              print_endline
-                (Lint.to_json
-                   [
-                     {
-                       Lint.d_rule = "verify";
-                       d_severity = Lint.Error;
-                       d_at = None;
-                       d_message = msg;
-                     };
-                   ])
-            else Printf.eprintf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
-            finding_error)
+      end
+    else
+      match load_input () with
+      | Error msg ->
+          prerr_endline msg;
+          input_error
+      | Ok ir ->
+          if static then static_one ~json ir
+          else (
+            match Verify.check ir with
+            | Ok () ->
+                if json then print_endline "[]"
+                else
+                  Printf.printf
+                    "%s: OK (postcondition, deadlock-freedom, structure)\n"
+                    (Ir.summary ir);
+                ok
+            | Error msg ->
+                if json then
+                  print_endline
+                    (Lint.to_json
+                       [
+                         {
+                           Lint.d_rule = "verify";
+                           d_severity = Lint.Error;
+                           d_at = None;
+                           d_message = msg;
+                         };
+                       ])
+                else Printf.eprintf "%s: FAILED\n  %s\n" (Ir.summary ir) msg;
+                finding_error)
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Verify an MSCCL-IR XML file")
-    Term.(const run $ xml_file_arg $ json_arg)
+    (Cmd.info "verify"
+       ~doc:
+         "Verify an MSCCL-IR XML file: symbolic execution against the \
+          collective's postcondition by default, or ($(b,--static)) the \
+          chunk-provenance dataflow verifier with root-cause diagnostics \
+          and liveness lints. Exit 1 on findings, 2 on unusable input.")
+    Term.(const run $ file_arg $ algo_opt_arg $ all_arg $ static_arg
+          $ json_arg)
 
 let lint_cmd =
   let file_arg =
@@ -407,12 +531,17 @@ let analyze_cmd =
                   (Msccl_analysis.Symmetry.report_json s)
                   (List.length races)
           in
+          let prov =
+            Msccl_analysis.Provenance.analyze ?symmetry:sym ir
+          in
           Printf.printf
-            "{\"report\":%s,\"diagnostics\":%s,\"hbgraph_stats\":%s%s}\n"
+            "{\"report\":%s,\"diagnostics\":%s,\"hbgraph_stats\":%s%s,\
+             \"provenance\":%s}\n"
             (Perfcheck.report_json report)
             (Lint.to_json diags)
             (hb_stats_json (Hbgraph.stats hb))
             sym_field
+            (Msccl_analysis.Provenance.report_json prov)
         end
         else begin
           Format.printf "%s on %s@.%a@.%a@." (Ir.summary ir)
@@ -422,6 +551,22 @@ let analyze_cmd =
           | None -> ()
           | Some s ->
               Format.printf "%s@." (Msccl_analysis.Symmetry.report s));
+          let prov = Msccl_analysis.Provenance.analyze ?symmetry:sym ir in
+          let open Msccl_analysis.Provenance in
+          Format.printf
+            "provenance: %s (%s mode; %d step(s), %d slot(s), %d dataflow \
+             lint(s))@."
+            (if prov.r_diags = [] then "clean"
+             else Printf.sprintf "%d diagnostic(s)"
+                 (List.length prov.r_diags))
+            (match prov.r_mode with
+            | Full -> "full"
+            | Quotient { orbits; interpreted_ranks } ->
+                Printf.sprintf "quotient %d/%d" interpreted_ranks orbits)
+            prov.r_steps_interpreted prov.r_slots_checked
+            (List.length prov.r_lints);
+          List.iter (fun d -> Format.printf "  %a@." pp_diag d) prov.r_diags;
+          if prov.r_lints <> [] then Format.printf "%a" Lint.pp prov.r_lints;
           if diags <> [] then Format.printf "%a" Lint.pp diags
         end;
         ok
@@ -655,7 +800,7 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Restrict checking to one oracle (repeatable): exec, equiv, static, \
-       symmetry, perf, roundtrip or chaos. Default: all seven."
+       symmetry, provenance, perf, roundtrip or chaos. Default: all eight."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
@@ -697,7 +842,7 @@ let fuzz_cmd =
                   Error
                     (Printf.sprintf
                        "unknown oracle %S (expected exec, equiv, static, \
-                        symmetry, perf, roundtrip or chaos)"
+                        symmetry, provenance, perf, roundtrip or chaos)"
                        n))
         in
         go [] names
@@ -766,9 +911,10 @@ let fuzz_cmd =
          "Differential fuzzing: random DSL programs cross-checked against \
           the executor (symbolic + numeric), differential compilation \
           (fusion on/off, instances k/1), the static analyses, the \
-          perfcheck lower bound and XML round-tripping. Failing cases are \
-          shrunk and written as replayable seed files. Exit 1 on failures, \
-          2 on unusable input.")
+          chunk-provenance verifier (static verdict must equal the \
+          executor's), the perfcheck lower bound and XML round-tripping. \
+          Failing cases are shrunk and written as replayable seed files. \
+          Exit 1 on failures, 2 on unusable input.")
     Term.(
       const run $ seed_arg $ cases_arg $ oracle_arg $ json_arg $ out_dir_arg
       $ replay_arg $ mutate_arg $ jobs_arg)

@@ -14,6 +14,7 @@ type generator = {
   g_name : string;
   g_perm : int array;
   g_tb : int array array;
+  g_psi : int array option array;
 }
 
 type t = {
@@ -152,6 +153,30 @@ let verify_candidate (ir : Ir.t) ~name perm =
       fmt
   in
   let g_tb = Array.make (max p 1) [||] in
+  (* Merged-over-ranks chunk bijection per buffer tag. Certification only
+     needs the per-rank tables below; quotient passes additionally want to
+     know when the bijection is the SAME map at every rank (it is for the
+     shift symmetries real collectives exhibit), because then applying the
+     automorphism m times to a chunk id is a cached array lookup instead
+     of an m-fold composition of per-rank maps. [-1] = unconstrained;
+     [g_psi] keeps the merged map unless two ranks disagree. *)
+  let max_size tag =
+    Array.fold_left
+      (fun acc (g : Ir.gpu) ->
+        max acc
+          (match tag with
+          | 0 -> g.Ir.input_chunks
+          | 1 -> g.Ir.output_chunks
+          | _ -> g.Ir.scratch_chunks))
+      0 ir.Ir.gpus
+  in
+  let uni = Array.init 3 (fun tag -> Array.make (max_size tag) (-1)) in
+  let uni_ok = Array.make 3 true in
+  let uni_bind tag a b =
+    if uni_ok.(tag) && a < Array.length uni.(tag) then
+      if uni.(tag).(a) = -1 then uni.(tag).(a) <- b
+      else if uni.(tag).(a) <> b then uni_ok.(tag) <- false
+  in
   try
     if Array.length perm <> p then
       viol ~rank:(-1) ~image:(-1) "permutation covers %d of %d ranks"
@@ -274,14 +299,23 @@ let verify_candidate (ir : Ir.t) ~name perm =
                     bind ~tbi:i ~si ~loc:l1 fwd.(tag) (l1.Loc.index + j)
                       (l2.Loc.index + j);
                     bind ~tbi:i ~si ~loc:l2 bwd.(tag) (l2.Loc.index + j)
-                      (l1.Loc.index + j)
+                      (l1.Loc.index + j);
+                    uni_bind tag (l1.Loc.index + j) (l2.Loc.index + j)
                   done)
                 f1 f2)
             tb.Ir.steps)
         gr.Ir.tbs;
       g_tb.(r) <- sigma
     done;
-    Ok { g_name = name; g_perm = Array.copy perm; g_tb }
+    Ok
+      {
+        g_name = name;
+        g_perm = Array.copy perm;
+        g_tb;
+        g_psi =
+          Array.init 3 (fun tag ->
+              if uni_ok.(tag) then Some uni.(tag) else None);
+      }
   with
   | Reject v -> Error v
   | Invalid_argument _ ->

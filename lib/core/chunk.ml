@@ -109,6 +109,26 @@ let norm_of (n : node) =
 
 let inputs = function Uninit -> None | Node n -> Some (norm_of n)
 
+(* Unordered leaf traversal: no sort, no memoization, so analyses that
+   only aggregate the multiset (bitsets, counters) skip the O(n log n)
+   normalization entirely. *)
+let iter_inputs f = function
+  | Uninit -> ()
+  | Node n ->
+      let stack = ref [ n ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | x :: rest -> (
+            stack := rest;
+            match x.norm with
+            | Some l -> List.iter (fun (r, i) -> f r i) l
+            | None -> (
+                match x.tree with
+                | Leaf (r, i) -> f r i
+                | Sum (a, b) -> stack := a :: b :: !stack))
+      done
+
 let allreduce_expected ~num_ranks ~index =
   reduce_many (List.init num_ranks (fun rank -> input ~rank ~index))
 

@@ -41,6 +41,12 @@ val is_uninit : t -> bool
 val inputs : t -> (int * int) list option
 (** The sorted multiset of (rank, index) inputs, or [None] for {!uninit}. *)
 
+val iter_inputs : (int -> int -> unit) -> t -> unit
+(** [iter_inputs f c] calls [f rank index] once per input of [c] (with
+    multiplicity), in no particular order. Unlike {!inputs} it neither
+    sorts nor memoizes, so it is the cheap way to aggregate a large
+    chunk's multiset; does nothing on {!uninit}. *)
+
 val allreduce_expected : num_ranks:int -> index:int -> t
 (** The reduction of input chunk [index] across all ranks — the value every
     output position of an AllReduce must hold. *)

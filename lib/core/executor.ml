@@ -23,6 +23,7 @@ module type S = sig
       op:Instr.opcode ->
       payload:v array ->
       unit) ->
+    ?on_write:(writer:int * int * int -> loc:Loc.t -> unit) ->
     init:(rank:int -> index:int -> v option) ->
     Ir.t ->
     state
@@ -84,7 +85,7 @@ module Make (V : VALUE) = struct
         (Buffer_id.long_name l.Loc.buf) l.Loc.rank;
     Array.iteri (fun k v -> arr.(l.Loc.index + k) <- Some (V.copy v)) vals
 
-  let run ?slots ?on_deliver ~init (ir : Ir.t) =
+  let run ?slots ?on_deliver ?on_write ~init (ir : Ir.t) =
     let slots =
       match slots with
       | Some s -> s
@@ -199,7 +200,12 @@ module Make (V : VALUE) = struct
               (Instr.opcode_name step.Ir.op)
           in
           let rd l = read st ~inplace ~ctx l in
-          let wr l vals = write st ~inplace ~ctx l vals in
+          let wr l vals =
+            write st ~inplace ~ctx l vals;
+            match on_write with
+            | Some f -> f ~writer:(rank, tb.Ir.tb_id, done_steps) ~loc:l
+            | None -> ()
+          in
           let src () = Option.get step.Ir.src in
           let dst () = Option.get step.Ir.dst in
           (match step.Ir.op with
@@ -281,7 +287,7 @@ end
 module Symbolic = struct
   include Make (Chunk_value)
 
-  let run_collective ?slots ?on_deliver (ir : Ir.t) =
+  let run_collective ?slots ?on_deliver ?on_write (ir : Ir.t) =
     let coll = ir.Ir.collective in
     let in_size = Collective.input_buffer_size coll in
     let init ~rank ~index =
@@ -290,7 +296,7 @@ module Symbolic = struct
         let c = Collective.precondition coll ~rank ~index in
         if Chunk.is_uninit c then None else Some c
     in
-    run ?slots ?on_deliver ~init ir
+    run ?slots ?on_deliver ?on_write ~init ir
 end
 
 module Float_value = struct

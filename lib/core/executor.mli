@@ -46,6 +46,7 @@ module type S = sig
       op:Instr.opcode ->
       payload:v array ->
       unit) ->
+    ?on_write:(writer:int * int * int -> loc:Loc.t -> unit) ->
     init:(rank:int -> index:int -> v option) ->
     Ir.t ->
     state
@@ -56,7 +57,12 @@ module type S = sig
       receiving step consumes it, with the sending and receiving steps'
       [(gpu, tb, step)] coordinates, the receiving opcode and the payload;
       the [state] argument reflects the buffers {e before} the receive
-      takes effect, which is what redundancy analyses need. Raises
+      takes effect, which is what redundancy analyses need. [on_write] is
+      called once per local buffer write, after it took effect, with the
+      writing step's [(gpu, tb, step)] and the destination [Loc.t] exactly
+      as the instruction names it (an in-place collective's [Output] loc
+      aliases the input array) — {!Verify.check_postcondition} uses it to
+      attribute a wrong output slot to its last writer. Raises
       {!Exec_error} on deadlock, on reading uninitialized data, or on
       leftover in-flight messages. *)
 
@@ -81,6 +87,7 @@ module Symbolic : sig
       op:Instr.opcode ->
       payload:Chunk.t array ->
       unit) ->
+    ?on_write:(writer:int * int * int -> loc:Loc.t -> unit) ->
     Ir.t ->
     state
   (** Runs with the IR collective's precondition as input. *)

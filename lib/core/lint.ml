@@ -99,6 +99,33 @@ let rules =
       rule_category = Correctness;
     };
     {
+      rule_id = "uninitialized-read";
+      rule_doc =
+        "a step reads a buffer slot no prior step (nor the collective's \
+         precondition) wrote: the executor would crash at runtime; the \
+         provenance pass reports it statically with the reading instruction";
+      rule_severity = Error;
+      rule_category = Correctness;
+    };
+    {
+      rule_id = "dead-store";
+      rule_doc =
+        "a step's written slots are all either overwritten before any read \
+         or left unread at the end outside the constrained output: the \
+         write (and the work feeding it) is wasted";
+      rule_severity = Warning;
+      rule_category = Correctness;
+    };
+    {
+      rule_id = "unread-scratch";
+      rule_doc =
+        "a scratch slot is written but (tracked through the chunk dataflow, \
+         unlike dead-scratch's syntactic read check) none of its values \
+         ever contribute to a constrained output position";
+      rule_severity = Warning;
+      rule_category = Correctness;
+    };
+    {
       rule_id = "below-bandwidth-optimal";
       rule_doc =
         "the algorithm's bandwidth efficiency (alpha-beta-gamma lower bound \

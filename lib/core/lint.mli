@@ -27,6 +27,21 @@
       channel's connection resources.
     - [unused-scratch] (info): declared scratch chunks never accessed.
 
+    Three {e dataflow} correctness rules are registered here but produced
+    by the provenance abstract interpretation
+    ([Msccl_analysis.Provenance.lint]), which tracks actual chunk
+    contributions instead of syntactic accesses:
+
+    - [uninitialized-read] (error): a step reads a slot nothing wrote —
+      reported statically with the reading instruction instead of as an
+      {!Executor.Exec_error} crash.
+    - [dead-store] (warning): every slot a step writes is overwritten
+      before any read, or ends unread outside the constrained output.
+    - [unread-scratch] (warning): a scratch slot's values never contribute
+      to any constrained output position (strictly stronger than
+      [dead-scratch]: a scratch chunk that is read, but only by other dead
+      computation, is still flagged).
+
     A second family of {e performance} rules is registered here but
     produced by {!Perfcheck.lint}, which needs a topology to cost the IR
     against ({!run} emits only the correctness rules above):

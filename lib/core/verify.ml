@@ -3,20 +3,46 @@ type mismatch = {
   m_index : int;
   m_expected : Chunk.t;
   m_actual : Chunk.t option;
+  m_writer : (int * int * int) option;
 }
 
 let pp_mismatch fmt m =
-  Format.fprintf fmt "rank %d output[%d]: expected %a, got %a" m.m_rank
+  Format.fprintf fmt "rank %d output[%d]: expected %a, got %a%a" m.m_rank
     m.m_index Chunk.pp m.m_expected
     (fun fmt -> function
       | None -> Format.pp_print_string fmt "uninitialized"
       | Some c -> Chunk.pp fmt c)
     m.m_actual
+    (fun fmt -> function
+      | None -> Format.pp_print_string fmt " (never written)"
+      | Some (r, tb, s) ->
+          Format.fprintf fmt " (last written by rank %d tb %d step %d)" r tb s)
+    m.m_writer
 
 let check_postcondition (ir : Ir.t) =
-  let st = Executor.Symbolic.run_collective ir in
   let coll = ir.Ir.collective in
   let out_size = Collective.output_buffer_size coll in
+  (* Track the last instruction to write each output slot so a mismatch
+     names its root cause, not just its position. In-place collectives
+     alias the output onto the input buffer, so Input-loc writes land in
+     the observed output there. *)
+  let writers =
+    Array.init (Ir.num_ranks ir) (fun _ -> Array.make out_size None)
+  in
+  let on_write ~writer ~loc:(l : Loc.t) =
+    let lands_in_output =
+      match l.Loc.buf with
+      | Buffer_id.Output -> true
+      | Buffer_id.Input -> coll.Collective.inplace
+      | Buffer_id.Scratch -> false
+    in
+    if lands_in_output then
+      for k = 0 to l.Loc.count - 1 do
+        let idx = l.Loc.index + k in
+        if idx < out_size then writers.(l.Loc.rank).(idx) <- Some writer
+      done
+  in
+  let st = Executor.Symbolic.run_collective ~on_write ir in
   let post = Collective.postcondition_fn coll in
   let mismatches = ref [] in
   for rank = Ir.num_ranks ir - 1 downto 0 do
@@ -30,7 +56,7 @@ let check_postcondition (ir : Ir.t) =
           | actual ->
               mismatches :=
                 { m_rank = rank; m_index = index; m_expected = expected;
-                  m_actual = actual }
+                  m_actual = actual; m_writer = writers.(rank).(index) }
                 :: !mismatches)
     done
   done;

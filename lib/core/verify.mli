@@ -19,6 +19,10 @@ type mismatch = {
   m_index : int;
   m_expected : Chunk.t;
   m_actual : Chunk.t option;  (** [None] = still uninitialized. *)
+  m_writer : (int * int * int) option;
+      (** [(rank, tb, step)] of the last instruction that wrote this
+          output slot; [None] = never written. Cross-references the
+          static provenance report's instruction sites. *)
 }
 
 val pp_mismatch : Format.formatter -> mismatch -> unit

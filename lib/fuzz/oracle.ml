@@ -5,17 +5,19 @@ type id =
   | Equiv
   | Static
   | Symmetry
+  | Provenance
   | Perf
   | Roundtrip
   | Chaos
 
-let all = [ Exec; Equiv; Static; Symmetry; Perf; Roundtrip; Chaos ]
+let all = [ Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos ]
 
 let id_name = function
   | Exec -> "exec"
   | Equiv -> "equiv"
   | Static -> "static"
   | Symmetry -> "symmetry"
+  | Provenance -> "provenance"
   | Perf -> "perf"
   | Roundtrip -> "roundtrip"
   | Chaos -> "chaos"
@@ -25,6 +27,7 @@ let id_of_name = function
   | "equiv" -> Some Equiv
   | "static" -> Some Static
   | "symmetry" -> Some Symmetry
+  | "provenance" -> Some Provenance
   | "perf" -> Some Perf
   | "roundtrip" -> Some Roundtrip
   | "chaos" -> Some Chaos
@@ -242,6 +245,96 @@ let check_symmetry (ir : Ir.t) =
     else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* Provenance: static dataflow verdict must equal the executor's       *)
+(* ------------------------------------------------------------------ *)
+
+(* The chunk-provenance abstract interpretation claims verdict parity
+   with the executor by construction; this oracle holds it to that on
+   every case — clean compiles and fusion-bug mutants alike. Same
+   ok/error verdict, same wrong-output positions, and the
+   orbit-quotiented run must agree with the full one on representative
+   ranks (the only ranks it reports). *)
+
+let slot_positions diags =
+  let open Msccl_analysis.Provenance in
+  List.filter_map
+    (fun d ->
+      match (d.dg_kind, d.dg_loc) with
+      | ( ( Never_written | Missing_contribution _
+          | Duplicated_contribution _ | Divergent
+          | Overwritten_before_read _ ),
+          Some l ) ->
+          Some (d.dg_rank, l.Loc.index)
+      | _ -> None)
+    diags
+  |> List.sort compare
+
+let check_provenance (ir : Ir.t) =
+  let dynamic =
+    (* [None] = executor crashed; [Some ps] = completed with the given
+       wrong (rank, index) output positions. *)
+    match Verify.check_postcondition ir with
+    | Ok () -> Some []
+    | Error ms ->
+        Some
+          (List.sort compare
+             (List.map (fun m -> (m.Verify.m_rank, m.Verify.m_index)) ms))
+    | exception Executor.Exec_error _ -> None
+  in
+  let ( let* ) = Result.bind in
+  let full = Msccl_analysis.Provenance.check ir in
+  let* () =
+    match (dynamic, full) with
+    | Some [], Ok () -> Ok ()
+    | Some [], Error ds ->
+        fail Provenance
+          "executor satisfied the postcondition but the static pass found \
+           %d diagnostic(s); first: %a"
+          (List.length ds) Msccl_analysis.Provenance.pp_diag (List.hd ds)
+    | Some (_ :: _ as dyn), Ok () ->
+        fail Provenance
+          "executor found %d wrong output slot(s) but the static verdict \
+           is clean"
+          (List.length dyn)
+    | Some (_ :: _ as dyn), Error ds ->
+        let st = slot_positions ds in
+        if st <> [] && st <> dyn then
+          fail Provenance
+            "static wrong-slot positions (%d) differ from the executor's \
+             (%d)"
+            (List.length st) (List.length dyn)
+        else Ok ()
+    | None, Error _ -> Ok ()
+    | None, Ok () ->
+        fail Provenance "executor crashed but the static verdict is clean"
+  in
+  let s = Msccl_analysis.Symmetry.infer ir in
+  let quot = Msccl_analysis.Provenance.check ~symmetry:s ir in
+  match (full, quot) with
+  | Ok (), Ok () -> Ok ()
+  | Ok (), Error ds ->
+      fail Provenance
+        "quotient pass found %d diagnostic(s) the full pass did not; \
+         first: %a"
+        (List.length ds) Msccl_analysis.Provenance.pp_diag (List.hd ds)
+  | Error ds, Ok () ->
+      fail Provenance
+        "full pass found %d diagnostic(s) the quotient pass missed"
+        (List.length ds)
+  | Error fd, Error qd ->
+      let reps = Orbit.reps s.Msccl_analysis.Symmetry.s_orbit in
+      let fp =
+        List.filter (fun (r, _) -> List.mem r reps) (slot_positions fd)
+      in
+      let qp = slot_positions qd in
+      if qp <> [] && fp <> [] && qp <> fp then
+        fail Provenance
+          "quotient wrong-slot positions (%d) diverge from the full \
+           pass's on representative ranks (%d)"
+          (List.length qp) (List.length fp)
+      else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Perf: simulated time must respect the lower-bound certificate       *)
 (* ------------------------------------------------------------------ *)
 
@@ -354,6 +447,7 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
         | Equiv -> check_equiv ~compile c
         | Static -> check_static (Lazy.force primary)
         | Symmetry -> check_symmetry (Lazy.force primary)
+        | Provenance -> check_provenance (Lazy.force primary)
         | Perf -> check_perf c (Lazy.force primary)
         | Roundtrip -> check_roundtrip (Lazy.force primary)
         | Chaos -> check_chaos c (Lazy.force primary))

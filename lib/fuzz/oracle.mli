@@ -24,6 +24,13 @@ type id =
           {!Mutate.break_symmetry} mutant, where certification must also
           notice the broken symmetry and fall back rather than silently
           under-report. *)
+  | Provenance
+      (** The static chunk-provenance verdict
+          ({!Msccl_analysis.Provenance.check}) must equal the executor's
+          dynamic verdict — same ok/crash/error outcome and the same
+          wrong-output (rank, index) positions — and the orbit-quotiented
+          interpretation under inferred symmetry must agree with the full
+          one on representative ranks. *)
   | Perf
       (** The simulated completion time can never beat the
           {!Msccl_core.Perfcheck} α–β–γ lower-bound certificate. *)
@@ -38,11 +45,11 @@ type id =
 
 val all : id list
 (** In checking order:
-    [Exec; Equiv; Static; Symmetry; Perf; Roundtrip; Chaos]. *)
+    [Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos]. *)
 
 val id_name : id -> string
 (** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["symmetry"],
-    ["perf"], ["roundtrip"], ["chaos"]. *)
+    ["provenance"], ["perf"], ["roundtrip"], ["chaos"]. *)
 
 val id_of_name : string -> id option
 

@@ -619,7 +619,8 @@ let test_perf_rules_registered () =
              [
                "race"; "fifo-deadlock"; "conn-mismatch"; "dangling-depends";
                "oob-access"; "dead-scratch"; "channel-contention";
-               "unused-scratch";
+               "unused-scratch"; "uninitialized-read"; "dead-store";
+               "unread-scratch";
              ]))
     Lint.rules
 

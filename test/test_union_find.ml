@@ -1,0 +1,135 @@
+(* Union-find: model-based qcheck properties (path compression, union by
+   rank) against a naive partition-by-label reference. *)
+
+module Q = QCheck
+open Msccl_core
+
+(* Naive model: labels.(x) is the class label; union relabels. *)
+let model_union labels a b =
+  let la = labels.(a) and lb = labels.(b) in
+  if la <> lb then
+    Array.iteri (fun i l -> if l = lb then labels.(i) <- la) labels
+
+let apply n ops =
+  let uf = Union_find.create n in
+  let labels = Array.init n Fun.id in
+  List.iter
+    (fun (a, b) ->
+      Union_find.union uf a b;
+      model_union labels a b)
+    ops;
+  (uf, labels)
+
+let ops_gen n =
+  Q.Gen.(list_size (int_bound 40) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+
+let arb n =
+  Q.make ~print:Q.Print.(list (pair int int)) (ops_gen n)
+
+let n = 24
+
+let qcheck_same_matches_model =
+  Q.Test.make ~name:"same = model equivalence" ~count:200 (arb n) (fun ops ->
+      let uf, labels = apply n ops in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Union_find.same uf a b <> (labels.(a) = labels.(b)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_find_idempotent =
+  Q.Test.make ~name:"find (find x) = find x, inside the class" ~count:200
+    (arb n) (fun ops ->
+      let uf, labels = apply n ops in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        let r = Union_find.find uf x in
+        (* canonical: stable under repetition *)
+        if Union_find.find uf r <> r then ok := false;
+        if Union_find.find uf x <> r then ok := false;
+        (* the representative is a member of x's class *)
+        if labels.(r) <> labels.(x) then ok := false
+      done;
+      !ok)
+
+let qcheck_union_is_idempotent_and_monotone =
+  Q.Test.make ~name:"union idempotent; classes only grow" ~count:200 (arb n)
+    (fun ops ->
+      let uf, _ = apply n ops in
+      let before = Array.init n (Union_find.find uf) in
+      (* re-apply every union: nothing may change *)
+      List.iter (fun (a, b) -> Union_find.union uf a b) ops;
+      let ok = ref true in
+      Array.iteri
+        (fun x r -> if Union_find.find uf x <> r then ok := false)
+        before;
+      (* self-union is a no-op *)
+      for x = 0 to n - 1 do
+        Union_find.union uf x x;
+        if Union_find.find uf x <> before.(x) then ok := false
+      done;
+      !ok)
+
+let qcheck_path_compression_flattens =
+  (* After any find, repeated finds of the same element must return the
+     same root without further structural change — observed via [same]
+     staying consistent across heavy re-querying. *)
+  Q.Test.make ~name:"query storm leaves the partition intact" ~count:100
+    (arb n) (fun ops ->
+      let uf, labels = apply n ops in
+      for _ = 1 to 3 do
+        for x = 0 to n - 1 do
+          ignore (Union_find.find uf x)
+        done
+      done;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Union_find.same uf a b <> (labels.(a) = labels.(b)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_chain_roots_unique () =
+  (* a long union chain has exactly one root and [find] reaches it from
+     every element *)
+  let uf = Union_find.create 64 in
+  for x = 0 to 62 do
+    Union_find.union uf x (x + 1)
+  done;
+  let r = Union_find.find uf 0 in
+  for x = 1 to 63 do
+    Alcotest.(check int) (Printf.sprintf "find %d" x) r (Union_find.find uf x)
+  done
+
+let test_disjoint_stay_disjoint () =
+  let uf = Union_find.create 10 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Alcotest.(check bool) "0~1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "2~3" true (Union_find.same uf 2 3);
+  Alcotest.(check bool) "0!~2" false (Union_find.same uf 0 2);
+  Alcotest.(check bool) "1!~3" false (Union_find.same uf 1 3);
+  Alcotest.(check bool) "4 alone" false (Union_find.same uf 4 0)
+
+let () =
+  Alcotest.run "union_find"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_same_matches_model;
+            qcheck_find_idempotent;
+            qcheck_union_is_idempotent_and_monotone;
+            qcheck_path_compression_flattens;
+          ] );
+      ( "units",
+        [
+          Testutil.tc "chain has one root" test_chain_roots_unique;
+          Testutil.tc "disjoint classes" test_disjoint_stay_disjoint;
+        ] );
+    ]
