@@ -218,6 +218,13 @@ type scale_point = {
   sp_prov_s : float;
   sp_prov_q_s : float;
   sp_orbits : int;
+  (* Symmetry-aware (replicated) compilation: trace one representative
+     slice, instantiate every rank by index arithmetic, certify the rank
+     permutation post hoc. The replicated IR is asserted identical
+     (modulo program name) to the classic pipeline's before the time is
+     recorded; ["none"] marks algorithms without a hint. *)
+  sp_sym_compile_s : float;
+  sp_sym_mode : string;
 }
 
 let scale_file = "BENCH_scale.json"
@@ -227,7 +234,7 @@ let wall = Unix.gettimeofday
 (* One pipeline point: compile (no inline verify), then postcondition
    verification, race detection and a 1 MB cluster simulation, each timed
    separately. *)
-let scale_point sp_algo sp_ranks build =
+let scale_point ?sym sp_algo sp_ranks build =
   Printf.printf "%-6s %5d ranks: %!" sp_algo sp_ranks;
   let t0 = wall () in
   let ir = build () in
@@ -248,9 +255,9 @@ let scale_point sp_algo sp_ranks build =
      comparable across revisions. Soundness is asserted, not assumed:
      quotient races must equal the full pass's and quotient lint must be
      as clean as full lint. *)
-  let sym = Msccl_analysis.Symmetry.infer ir in
+  let inferred = Msccl_analysis.Symmetry.infer ir in
   let t5 = wall () in
-  let orbit = sym.Msccl_analysis.Symmetry.s_orbit in
+  let orbit = inferred.Msccl_analysis.Symmetry.s_orbit in
   let qraces = Races.find_quotient ~orbit ir in
   let t6 = wall () in
   if qraces <> races then
@@ -264,7 +271,7 @@ let scale_point sp_algo sp_ranks build =
   let prov_full = Msccl_analysis.Provenance.analyze ~lints:false ir in
   let t9 = wall () in
   let prov_q =
-    Msccl_analysis.Provenance.analyze ~symmetry:sym ~lints:false ir
+    Msccl_analysis.Provenance.analyze ~symmetry:inferred ~lints:false ir
   in
   let t10 = wall () in
   (match
@@ -280,6 +287,30 @@ let scale_point sp_algo sp_ranks build =
     match prov_q.Msccl_analysis.Provenance.r_mode with
     | Msccl_analysis.Provenance.Full -> "full-fallback"
     | Msccl_analysis.Provenance.Quotient _ -> "quotient"
+  in
+  (* Symmetry-aware compilation, certified, against the same program; the
+     replicated IR must be the classic pipeline's byte for byte (the
+     program name differs, nothing else may). *)
+  let sym_compile_s, sym_mode =
+    match sym with
+    | None -> (0., "none")
+    | Some (coll, prog, hint) ->
+        let ts0 = wall () in
+        let report, outcome =
+          Msccl_analysis.Sym_compile.compile ~name:sp_algo
+            ~proto:T.Protocol.Simple ~verify:false ~hint coll prog
+        in
+        let ts1 = wall () in
+        (match outcome with
+        | Msccl_analysis.Sym_compile.Fell_back m ->
+            failwith (sp_algo ^ ": symmetry-aware compile fell back: " ^ m)
+        | Msccl_analysis.Sym_compile.Replicated _ ->
+            let sym_ir = report.Compile.ir in
+            if not (Ir.equal { sym_ir with Ir.name = ir.Ir.name } ir) then
+              failwith
+                (sp_algo
+               ^ ": replicated IR differs from the classic pipeline's"));
+        (ts1 -. ts0, "replicated")
   in
   let p =
     {
@@ -298,13 +329,15 @@ let scale_point sp_algo sp_ranks build =
       sp_prov_s = t9 -. t8;
       sp_prov_q_s = t10 -. t9;
       sp_orbits = Orbit.num_orbits orbit;
+      sp_sym_compile_s = sym_compile_s;
+      sp_sym_mode = sym_mode;
     }
   in
   Printf.printf
     "compile %.2fs  verify %.2fs  races %.2fs  simulate %.2fs  total %.2fs \
      (%d steps, %.0f events/s)\n       symmetry: infer %.2fs  %d orbit(s)  \
      races_q %.2fs (%.1fx)  lint %.2fs  lint_q %.2fs  prov %.2fs  \
-     prov_q %.2fs (%.1fx, %s)\n%!"
+     prov_q %.2fs (%.1fx, %s)\n"
     p.sp_compile_s p.sp_verify_s p.sp_races_s p.sp_simulate_s p.sp_total_s
     (Ir.num_steps ir)
     (float_of_int p.sp_events /. p.sp_simulate_s)
@@ -313,27 +346,105 @@ let scale_point sp_algo sp_ranks build =
     p.sp_lint_s p.sp_lint_q_s p.sp_prov_s p.sp_prov_q_s
     (p.sp_prov_s /. Float.max p.sp_prov_q_s 1e-9)
     prov_mode;
+  if p.sp_sym_mode <> "none" then
+    Printf.printf
+      "       sym-compile: %.2fs (%.1fx vs full compile, %s, IR identical)\n"
+      p.sp_sym_compile_s
+      (p.sp_compile_s /. Float.max p.sp_sym_compile_s 1e-9)
+      p.sp_sym_mode;
+  Printf.printf "%!";
   p
 
 let scale_points ~quick =
   let ranks = if quick then [ 64; 256 ] else [ 64; 256; 1024 ] in
+  let allreduce n =
+    Collective.make Collective.Allreduce ~num_ranks:n ~chunk_factor:n
+      ~inplace:true ()
+  in
   List.concat_map
     (fun n ->
       [
         ( "ring", n,
-          fun () ->
+          (fun () ->
             A.Ring_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
-              ~num_ranks:n () );
+              ~num_ranks:n ()),
+          Some
+            ( allreduce n,
+              A.Ring_allreduce.program ~num_ranks:n ~channels:1,
+              A.Ring_allreduce.hint ~num_ranks:n ~channels:1 ) );
         ( "allpairs", n,
-          fun () ->
+          (fun () ->
             A.Allpairs_allreduce.ir ~proto:T.Protocol.Simple ~verify:false
-              ~num_ranks:n () );
+              ~num_ranks:n ()),
+          Some
+            ( allreduce n,
+              A.Allpairs_allreduce.program ~num_ranks:n,
+              A.Allpairs_allreduce.hint ~num_ranks:n ) );
         ( "hier", n,
-          fun () ->
+          (fun () ->
             A.Hierarchical_allreduce.ir ~proto:T.Protocol.Simple
-              ~verify:false ~nodes:(n / 8) ~gpus_per_node:8 () );
+              ~verify:false ~nodes:(n / 8) ~gpus_per_node:8 ()),
+          None );
       ])
     ranks
+
+(* Frontier point: ring AllReduce at 4096 ranks through the symmetry-aware
+   path end to end — replicated compile (the O(P) representative schedule;
+   the O(P²) materialization is never forced) plus cohort simulation over
+   the topology-certified rank-shift quotient. The classic pipeline needs
+   ~30 s of compile alone at this size, so this row records the quotient
+   path only; hint certification and replicated-vs-full IR identity are
+   asserted at every ≤1024-rank point above and in the test suite. *)
+let scale_point_sym_frontier () =
+  let n = 4096 in
+  Printf.printf "%-6s %5d ranks: %!" "ring" n;
+  let t0 = wall () in
+  let rep =
+    Replicate.run ~proto:T.Protocol.Simple ~name:"ring-allreduce"
+      ~hint:(A.Ring_allreduce.hint ~num_ranks:n ~channels:1)
+      (Collective.make Collective.Allreduce ~num_ranks:n ~chunk_factor:n
+         ~inplace:true ())
+  in
+  let t1 = wall () in
+  let topo = T.Presets.ndv4 ~nodes:(n / 8) in
+  let t2 = wall () in
+  let r, cohort =
+    Simulator.run_sym ~topo
+      ~chunk_bytes:(mib /. float_of_int n)
+      ~check_occupancy:false rep
+  in
+  let t3 = wall () in
+  (match cohort.Simulator.co_fallback with
+  | None -> ()
+  | Some why ->
+      failwith ("ring@4096: cohort simulation fell back (" ^ why ^ ")"));
+  let p =
+    {
+      sp_algo = "ring";
+      sp_ranks = n;
+      sp_compile_s = t1 -. t0;
+      sp_verify_s = 0.;
+      sp_races_s = 0.;
+      sp_simulate_s = t3 -. t1;
+      sp_total_s = t3 -. t0;
+      sp_events = r.Simulator.events;
+      sp_infer_s = 0.;
+      sp_races_q_s = 0.;
+      sp_lint_s = 0.;
+      sp_lint_q_s = 0.;
+      sp_prov_s = 0.;
+      sp_prov_q_s = 0.;
+      sp_orbits = 1;
+      sp_sym_compile_s = t1 -. t0;
+      sp_sym_mode = "quotient";
+    }
+  in
+  Printf.printf
+    "replicate %.2fs  topo %.2fs  cohort-sim %.2fs  total %.2fs \
+     (%d quotient events, %d ranks/cohort)\n%!"
+    p.sp_compile_s (t2 -. t1) (t3 -. t2) p.sp_total_s p.sp_events
+    cohort.Simulator.co_width;
+  p
 
 let point_json p =
   Printf.sprintf
@@ -341,12 +452,13 @@ let point_json p =
      \"races_s\":%.3f,\"simulate_s\":%.3f,\"total_s\":%.3f,\"events\":%d,\
      \"events_per_s\":%.0f,\"symmetry_infer_s\":%.3f,\"races_quotient_s\":%.3f,\
      \"lint_s\":%.3f,\"lint_quotient_s\":%.3f,\"provenance_s\":%.3f,\
-     \"provenance_quotient_s\":%.3f,\"orbits\":%d}"
+     \"provenance_quotient_s\":%.3f,\"orbits\":%d,\"sym_compile_s\":%.3f,\
+     \"sym_mode\":\"%s\"}"
     p.sp_algo p.sp_ranks p.sp_compile_s p.sp_verify_s p.sp_races_s
     p.sp_simulate_s p.sp_total_s p.sp_events
     (float_of_int p.sp_events /. p.sp_simulate_s)
     p.sp_infer_s p.sp_races_q_s p.sp_lint_s p.sp_lint_q_s p.sp_prov_s
-    p.sp_prov_q_s p.sp_orbits
+    p.sp_prov_q_s p.sp_orbits p.sp_sym_compile_s p.sp_sym_mode
 
 (* Minimal extraction from our own fixed serialization: every point object
    starts with {"algo": and carries a "total_s" field before its '}'. *)
@@ -437,20 +549,42 @@ let run_scale ~quick ~check () =
   Printf.printf "== scale: full pipeline at cluster sizes%s ==\n%!"
     (if quick then " (quick)" else "");
   let quotient_algos = quotient_registry_gate () in
-  let points =
-    List.map (fun (a, n, build) -> scale_point a n build) (scale_points ~quick)
+  let classic =
+    List.map
+      (fun (a, n, build, sym) -> scale_point ?sym a n build)
+      (scale_points ~quick)
   in
-  (* Parallel speedup of the registry sweep; on a single-core host this
-     honestly reports ~1x. *)
-  let t0 = wall () in
+  let points = classic @ [ scale_point_sym_frontier () ] in
+  (* Parallel speedup of the registry sweep. The whole sweep runs in
+     ~150 ms, so a single timing of each configuration is dominated by
+     scheduler noise (it has honestly reported <1x on loaded hosts); take
+     the min over alternating repetitions instead, and compare the two
+     outputs once. On a single-core host this still reports ~1x. *)
   let s1 = H.Lint_sweep.run ~jobs:1 () in
-  let t1 = wall () in
   let s8 = H.Lint_sweep.run ~jobs:8 () in
-  let t2 = wall () in
   if s1 <> s8 then failwith "registry sweep: jobs=1 and jobs=8 outputs differ";
-  let jobs1_s = t1 -. t0 and jobs8_s = t2 -. t1 in
-  Printf.printf "registry sweep: jobs=1 %.2fs, jobs=8 %.2fs (%.2fx, outputs identical)\n%!"
-    jobs1_s jobs8_s (jobs1_s /. jobs8_s);
+  let time_sweep jobs =
+    Gc.full_major ();
+    let t = wall () in
+    ignore (H.Lint_sweep.run ~jobs ());
+    wall () -. t
+  in
+  let reps = 7 in
+  let jobs1_s = ref infinity and jobs8_s = ref infinity in
+  for rep = 1 to reps do
+    (* Alternate which configuration goes first so heap drift over the
+       repetitions cannot bias one side. *)
+    let first, second = if rep land 1 = 1 then (1, 8) else (8, 1) in
+    let tf = time_sweep first and ts = time_sweep second in
+    let t1, t8 = if first = 1 then (tf, ts) else (ts, tf) in
+    jobs1_s := Float.min !jobs1_s t1;
+    jobs8_s := Float.min !jobs8_s t8
+  done;
+  let jobs1_s = !jobs1_s and jobs8_s = !jobs8_s in
+  Printf.printf
+    "registry sweep: jobs=1 %.2fs, jobs=8 %.2fs (%.2fx, min of %d reps, \
+     outputs identical)\n%!"
+    jobs1_s jobs8_s (jobs1_s /. jobs8_s) reps;
   let oc = open_out scale_file in
   Printf.fprintf oc
     "{\"benchmark\":\"scale\",\"quick\":%b,\"points\":[%s],\
@@ -464,6 +598,51 @@ let run_scale ~quick ~check () =
   Printf.printf "wrote %s\n%!" scale_file;
   if check then begin
     let tolerance = 1.25 in
+    (* Quotient provenance must never be slower than the full pass (the
+       orbit-count cost gate exists precisely to guarantee this); 50 ms of
+       absolute slack keeps sub-centisecond points from flaking. *)
+    List.iter
+      (fun p ->
+        if p.sp_prov_q_s > (p.sp_prov_s *. tolerance) +. 0.05 then begin
+          Printf.printf
+            "REGRESSION %s@%d: quotient provenance %.3fs slower than full \
+             %.3fs\n"
+            p.sp_algo p.sp_ranks p.sp_prov_q_s p.sp_prov_s;
+          exit 1
+        end)
+      points;
+    (* Headline gates: the frontier row must land inside the 1024-rank
+       seed's end-to-end budget, and (full runs) symmetry-aware compile
+       at 1024 ranks must be at least 5x the classic compile. *)
+    (match
+       List.find_opt (fun p -> p.sp_ranks = 4096 && p.sp_algo = "ring") points
+     with
+    | None -> ()
+    | Some p ->
+        if p.sp_total_s > 36.1 then begin
+          Printf.printf
+            "REGRESSION ring@4096: %.2fs exceeds the 36.1s ring@1024 seed \
+             budget\n"
+            p.sp_total_s;
+          exit 1
+        end);
+    if not quick then begin
+      match
+        List.find_opt
+          (fun p -> p.sp_ranks = 1024 && p.sp_algo = "ring")
+          points
+      with
+      | None -> ()
+      | Some p ->
+          let speedup = p.sp_compile_s /. Float.max p.sp_sym_compile_s 1e-9 in
+          if speedup < 5. then begin
+            Printf.printf
+              "REGRESSION ring@1024: sym compile %.2fs is only %.1fx the \
+               classic %.2fs (need >=5x)\n"
+              p.sp_sym_compile_s speedup p.sp_compile_s;
+            exit 1
+          end
+    end;
     let regressed =
       List.filter_map
         (fun p ->

@@ -160,6 +160,48 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List algorithms, topologies and protocols")
     Term.(const run $ const ())
 
+(* Symmetry-aware build: trace only the representative slice, replicate
+   by index arithmetic, certify the hint's permutation post hoc. Output
+   is the same IR as [build_ir] (a failed certification silently falls
+   back to the full pipeline), only compile cost changes. *)
+let build_ir_sym algo params =
+  match H.Registry.find algo with
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S; try: %s" algo
+           (String.concat ", " (H.Registry.names ())))
+  | Some { H.Registry.sym = None; _ } ->
+      Printf.eprintf
+        "%s declares no symmetry hint; using the full pipeline\n" algo;
+      build_ir algo params
+  | Some { H.Registry.sym = Some case; _ } -> (
+      let c = case params in
+      try
+        let report, outcome =
+          Msccl_analysis.Sym_compile.compile ~name:algo
+            ~proto:params.H.Registry.proto
+            ~instances:params.H.Registry.instances
+            ~verify:params.H.Registry.verify ~hint:c.H.Registry.sym_hint
+            c.H.Registry.sym_coll c.H.Registry.sym_program
+        in
+        (match outcome with
+        | Msccl_analysis.Sym_compile.Replicated s ->
+            Printf.eprintf
+              "symmetry-aware compile: replicated (certified %s, %d \
+               orbit(s))\n"
+              (match s.Msccl_analysis.Symmetry.s_generators with
+              | g :: _ -> g.Msccl_analysis.Symmetry.g_name
+              | [] -> "?")
+              (Orbit.num_orbits s.Msccl_analysis.Symmetry.s_orbit)
+        | Msccl_analysis.Sym_compile.Fell_back m ->
+            Printf.eprintf "symmetry-aware compile fell back: %s\n" m);
+        Ok report.Compile.ir
+      with
+      | Program.Trace_error m -> Error ("trace error: " ^ m)
+      | Schedule.Scheduling_error m -> Error ("scheduling error: " ^ m)
+      | Failure m -> Error m
+      | Invalid_argument m -> Error m)
+
 let compile_cmd =
   let output_arg =
     let doc = "Write MSCCL-IR XML here (default: stdout)." in
@@ -170,12 +212,22 @@ let compile_cmd =
                findings fail the compile." in
     Arg.(value & flag & info [ "lint" ] ~doc)
   in
+  let sym_arg =
+    let doc =
+      "Symmetry-aware compilation: trace one representative rank, \
+       replicate the schedule to all ranks by index arithmetic, and \
+       certify the algorithm's declared rank symmetry on the result. \
+       Same IR as the full pipeline (falls back automatically if the \
+       hint fails certification), compiled in O(instructions/ranks)."
+    in
+    Arg.(value & flag & info [ "sym-compile" ] ~doc)
+  in
   let run algo nodes gpus channels instances proto chunk_factor no_verify
-      lint output =
+      lint sym_compile output =
     let params =
       build_params nodes gpus channels instances proto chunk_factor no_verify
     in
-    match build_ir algo params with
+    match (if sym_compile then build_ir_sym else build_ir) algo params with
     | Error msg ->
         prerr_endline msg;
         user_error
@@ -200,7 +252,7 @@ let compile_cmd =
     Term.(
       const run $ algo_arg $ nodes_arg $ gpus_arg $ channels_arg
       $ instances_arg $ proto_arg $ chunk_factor_arg $ no_verify_arg
-      $ lint_arg $ output_arg)
+      $ lint_arg $ sym_arg $ output_arg)
 
 let xml_file_arg =
   let doc = "MSCCL-IR XML file." in
@@ -800,7 +852,8 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Restrict checking to one oracle (repeatable): exec, equiv, static, \
-       symmetry, provenance, perf, roundtrip or chaos. Default: all eight."
+       symmetry, provenance, perf, roundtrip, chaos or sym_compile. \
+       Default: all nine."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
@@ -842,7 +895,7 @@ let fuzz_cmd =
                   Error
                     (Printf.sprintf
                        "unknown oracle %S (expected exec, equiv, static, \
-                        symmetry, provenance, perf, roundtrip or chaos)"
+                        symmetry, provenance, perf, roundtrip, chaos or sym_compile)"
                        n))
         in
         go [] names

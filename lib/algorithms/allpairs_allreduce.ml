@@ -30,6 +30,34 @@ let program ~num_ranks prog =
     done
   done
 
+let hint ~num_ranks =
+  (* Slice [r] is the gather-into-r / reduce-at-r / broadcast-from-r group
+     of the loops above. Scratch slots are already keyed relative to the
+     receiver, so only the input chunk index rotates with the slice. *)
+  Sym_hint.ring_shift ~shift:1 ~d_input:1
+    ~scratch_chunks:(num_ranks - 1)
+    (fun prog ->
+      let r = 0 in
+      for q = 0 to num_ranks - 1 do
+        if q <> r then begin
+          let scratch_index = ((q - r + num_ranks) mod num_ranks) - 1 in
+          let c = Program.chunk prog ~rank:q Buffer_id.Input ~index:r () in
+          ignore
+            (Program.copy c ~rank:r Buffer_id.Scratch ~index:scratch_index ())
+        end
+      done;
+      let acc =
+        ref (Program.chunk prog ~rank:r Buffer_id.Input ~index:r ())
+      in
+      for k = 0 to num_ranks - 2 do
+        let part = Program.chunk prog ~rank:r Buffer_id.Scratch ~index:k () in
+        acc := Program.reduce !acc part ()
+      done;
+      for q = 0 to num_ranks - 1 do
+        if q <> r then
+          ignore (Program.copy !acc ~rank:q Buffer_id.Input ~index:r ())
+      done)
+
 let ir ?proto ?instances ?verify ~num_ranks () =
   let coll =
     Collective.make Collective.Allreduce ~num_ranks ~chunk_factor:num_ranks

@@ -10,6 +10,10 @@
 
 val program : num_ranks:int -> Msccl_core.Program.t -> unit
 
+val hint : num_ranks:int -> Msccl_core.Sym_hint.t
+(** Ring-shift symmetry hint matching {!program}: shift +1, input chunk
+    delta +1, receiver-relative scratch (delta 0). *)
+
 val ir :
   ?proto:Msccl_topology.Protocol.t ->
   ?instances:int ->

@@ -13,7 +13,12 @@
     multiple channels" optimization of §7.1.1: hops on different channels
     land in different thread blocks and overlap. With a constant [ch] the
     compiler fuses each hop into rrcs/rrs/rcs chains exactly like NCCL's
-    ring. *)
+    ring.
+
+    [only] filters which ring slots are emitted (default: all). Slot [r]'s
+    chain is the image of slot 0's under [r] ring rotations, so
+    [~only:(Int.equal 0)] is exactly the representative slice a
+    {!Msccl_core.Sym_hint.ring_shift} hint must trace. *)
 
 val ring_reduce_scatter :
   Msccl_core.Program.t ->
@@ -23,6 +28,7 @@ val ring_reduce_scatter :
   count:int ->
   ?stride:int ->
   ?ch:(hop:int -> int option) ->
+  ?only:(int -> bool) ->
   unit ->
   unit
 (** After this fragment, the [r]-th rank of the ring holds the full sum of
@@ -37,6 +43,7 @@ val ring_all_gather :
   ?stride:int ->
   ?ch:(hop:int -> int option) ->
   ?hop_base:int ->
+  ?only:(int -> bool) ->
   unit ->
   unit
 (** Distributes each ring rank's chunks [offset + r*stride ..] to all ranks

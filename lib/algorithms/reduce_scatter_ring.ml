@@ -12,6 +12,18 @@ let program ~num_ranks ~chunk_factor ~channels prog =
     ignore (Program.copy seg ~rank:r Buffer_id.Output ~index:0 ())
   done
 
+let hint ~num_ranks ~chunk_factor ~channels =
+  let c = chunk_factor in
+  let ranks = List.init num_ranks Fun.id in
+  let ch ~hop = Some (hop mod channels) in
+  Sym_hint.ring_shift ~shift:1 ~d_input:c (fun prog ->
+      Patterns.ring_reduce_scatter prog ~ranks ~offset:0 ~count:c ~ch
+        ~only:(Int.equal 0) ();
+      let seg =
+        Program.chunk prog ~rank:0 Buffer_id.Input ~index:0 ~count:c ()
+      in
+      ignore (Program.copy seg ~rank:0 Buffer_id.Output ~index:0 ()))
+
 let ir ?proto ?(channels = 1) ?(chunk_factor = 1) ?instances ?verify
     ~num_ranks () =
   let coll =

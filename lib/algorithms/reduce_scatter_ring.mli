@@ -6,6 +6,11 @@ val program :
   num_ranks:int -> chunk_factor:int -> channels:int ->
   Msccl_core.Program.t -> unit
 
+val hint :
+  num_ranks:int -> chunk_factor:int -> channels:int -> Msccl_core.Sym_hint.t
+(** Ring-shift symmetry hint matching {!program}: shift +1, input chunk
+    delta [+chunk_factor]. *)
+
 val ir :
   ?proto:Msccl_topology.Protocol.t ->
   ?channels:int ->

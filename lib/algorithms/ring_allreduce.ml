@@ -7,6 +7,19 @@ let program ~num_ranks ~channels prog =
   Patterns.ring_all_gather prog ~ranks ~offset:0 ~count:1 ~ch
     ~hop_base:(num_ranks - 1) ()
 
+let hint ~num_ranks ~channels =
+  let ranks = List.init num_ranks Fun.id in
+  let ch ~hop = Some (hop mod channels) in
+  let only = Int.equal 0 in
+  (* Slot [r] of both ring passes is slot 0 shifted by [r] ranks with its
+     chunk index shifted by [r]: slice 0 is one RS chain plus one AG
+     chain. *)
+  Sym_hint.ring_shift ~shift:1 ~d_input:1 (fun prog ->
+      Patterns.ring_reduce_scatter prog ~ranks ~offset:0 ~count:1 ~ch ~only
+        ();
+      Patterns.ring_all_gather prog ~ranks ~offset:0 ~count:1 ~ch
+        ~hop_base:(num_ranks - 1) ~only ())
+
 let program_multi ~rings prog =
   Array.iteri
     (fun k ranks ->

@@ -17,6 +17,10 @@
 
 val program : num_ranks:int -> channels:int -> Msccl_core.Program.t -> unit
 
+val hint : num_ranks:int -> channels:int -> Msccl_core.Sym_hint.t
+(** Ring-shift symmetry hint matching {!program}: shift +1, input chunk
+    delta +1, representative slice = ring slot 0 of both passes. *)
+
 val ir :
   ?proto:Msccl_topology.Protocol.t ->
   ?channels:int ->

@@ -1007,11 +1007,30 @@ let translate_pv ~nbytes ~stride apply = function
       in
       Red { idx = keys; ranks = Array.map (Hashtbl.find acc) keys; mult }
 
+(* Quotient provenance does strictly more work per representative than the
+   full pass does per rank: reduction provenance rows are bitsets over all
+   ranks and every step's value is translated through the generator, so a
+   representative costs O(nranks) where a full-pass rank costs O(1) per
+   step. Measured on hierarchical allreduce at 1024 ranks (128 orbits of
+   size 8), the quotient pass ran ~3x slower than the full pass; with one
+   orbit of 1024 it ran ~3x faster. Only take the quotient when orbits are
+   large enough that the rank-count saving pays for the per-representative
+   overhead — except on small machines, where both passes are
+   sub-millisecond and keeping the quotient engaged keeps its path
+   exercised and its per-representative diagnostics available. *)
+let quotient_min_orbit_size = 32
+let quotient_always_below_ranks = 256
+
 (* Decide whether the quotient applies; [None] means run full. *)
 let plan_of (ir : Ir.t) (sym : Symmetry.t) =
   let orb = sym.Symmetry.s_orbit in
   let nranks = Ir.num_ranks ir in
-  if (not (Symmetry.certified sym)) || Orbit.num_orbits orb >= nranks then None
+  if
+    (not (Symmetry.certified sym))
+    || Orbit.num_orbits orb >= nranks
+    || nranks >= quotient_always_below_ranks
+       && Orbit.num_orbits orb * quotient_min_orbit_size > nranks
+  then None
   else begin
     let coll = ir.Ir.collective in
     let cycle_matches (g : Symmetry.generator) =

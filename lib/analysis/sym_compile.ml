@@ -1,0 +1,49 @@
+(* Symmetry-aware compilation with post-hoc certification.
+
+   The core Replicate/Compile.compile_sym machinery constructs the
+   replicated IR; this wrapper closes the soundness loop by certifying
+   the hint's permutation as a true DAG automorphism
+   (Symmetry.verify_candidate) before the result is accepted. A failed
+   certification — like any construction failure — silently falls back
+   to the full pipeline, so hints change compile cost but never
+   output. *)
+
+open Msccl_core
+
+type outcome =
+  | Replicated of Symmetry.t
+  | Fell_back of string
+
+let certificate ir (hint : Sym_hint.t) =
+  let p = Array.length ir.Ir.gpus in
+  let name = Sym_hint.name hint ~num_ranks:p in
+  match
+    Symmetry.verify_candidate ir ~name (Sym_hint.perm hint ~num_ranks:p)
+  with
+  | Ok gen -> Ok (Symmetry.of_generator ir gen)
+  | Error v -> Error (Symmetry.violation_message v)
+
+let compile ?name ?fuse ?proto ?instances ?verify ?lint
+    ?(differential = false) ~hint coll f =
+  let cert = ref None in
+  let certify ir =
+    match certificate ir hint with
+    | Ok sym ->
+        cert := Some sym;
+        Ok ()
+    | Error msg -> Error msg
+  in
+  let report, out =
+    Compile.compile_sym ?name ?fuse ?proto ?instances ?verify ?lint ~certify
+      ~differential ~hint coll f
+  in
+  match out with
+  | Compile.Sym_replicated -> (report, Replicated (Option.get !cert))
+  | Compile.Sym_fallback msg -> (report, Fell_back msg)
+
+let ir ?name ?fuse ?proto ?instances ?verify ?lint ?differential ~hint coll f
+    =
+  (fst
+     (compile ?name ?fuse ?proto ?instances ?verify ?lint ?differential ~hint
+        coll f))
+    .Compile.ir

@@ -1,0 +1,51 @@
+(** Symmetry-aware compilation with post-hoc certification.
+
+    {!Msccl_core.Compile.compile_sym} builds the replicated IR from an
+    algorithm's {!Msccl_core.Sym_hint.t}; this wrapper certifies the
+    hint's rank permutation as a DAG automorphism with
+    {!Symmetry.verify_candidate} before accepting it, and silently falls
+    back to the full pipeline otherwise. The certificate doubles as the
+    input to the quotient analyses (races, lint, provenance), so a
+    symmetric program pays symmetry inference never and certification
+    once. *)
+
+type outcome =
+  | Replicated of Symmetry.t
+      (** The replicated fast path was used; carries the certified
+          symmetry (generator + orbit partition) for quotient passes. *)
+  | Fell_back of string  (** Why the full pipeline ran instead. *)
+
+val certificate :
+  Msccl_core.Ir.t -> Msccl_core.Sym_hint.t -> (Symmetry.t, string) result
+(** Certify a hint's permutation against a materialized IR. *)
+
+val compile :
+  ?name:string ->
+  ?fuse:bool ->
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  ?lint:bool ->
+  ?differential:bool ->
+  hint:Msccl_core.Sym_hint.t ->
+  Msccl_core.Collective.t ->
+  (Msccl_core.Program.t -> unit) ->
+  Msccl_core.Compile.report * outcome
+(** {!Msccl_core.Compile.compile_sym} with certification wired in.
+    [~differential:true] additionally asserts byte-identical IR
+    ({!Msccl_core.Ir.equal}) against the full-trace pipeline, raising
+    {!Msccl_core.Compile.Sym_mismatch} on divergence. *)
+
+val ir :
+  ?name:string ->
+  ?fuse:bool ->
+  ?proto:Msccl_topology.Protocol.t ->
+  ?instances:int ->
+  ?verify:bool ->
+  ?lint:bool ->
+  ?differential:bool ->
+  hint:Msccl_core.Sym_hint.t ->
+  Msccl_core.Collective.t ->
+  (Msccl_core.Program.t -> unit) ->
+  Msccl_core.Ir.t
+(** Shorthand for [(fst (compile ...)).ir]. *)

@@ -442,6 +442,21 @@ let infer (ir : Ir.t) =
 
 let certified t = not (Orbit.is_identity t.s_orbit)
 
+let of_generator (ir : Ir.t) gen =
+  let p = Array.length ir.Ir.gpus in
+  let period =
+    (* The orbit rotation step of the (already certified) generator; only
+       reports read this. *)
+    match gen.g_perm with [||] -> p | perm -> (perm.(0) - 0 + p) mod p
+  in
+  {
+    s_num_ranks = p;
+    s_period = (if period = 0 then p else period);
+    s_generators = [ gen ];
+    s_rejected = [];
+    s_orbit = orbit_of_generators ir [ gen ];
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)

@@ -44,6 +44,68 @@ let compile ?name ?fuse ?proto ?instances ?verify ?lint coll f =
 let ir ?name ?fuse ?proto ?instances ?verify ?lint coll f =
   (compile ?name ?fuse ?proto ?instances ?verify ?lint coll f).ir
 
+(* ------------------------------------------------------------------ *)
+(* Symmetry-aware path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sym_outcome =
+  | Sym_replicated
+  | Sym_fallback of string
+
+exception Sym_mismatch of string
+
+let () =
+  Printexc.register_printer (function
+    | Sym_mismatch m -> Some ("Compile.Sym_mismatch: " ^ m)
+    | _ -> None)
+
+let compile_sym ?name ?fuse ?proto ?(instances = 1) ?(verify = true)
+    ?(lint = false) ?certify ?(differential = false) ~hint coll f =
+  let attempt =
+    try
+      let r = Replicate.run ?proto ?name ~hint ?fuse coll in
+      match certify with
+      | None -> Ok r
+      | Some check -> (
+          match check (Lazy.force r.Replicate.r_ir) with
+          | Ok () -> Ok r
+          | Error msg -> Error ("certification failed: " ^ msg))
+    with Replicate.Fallback msg -> Error msg
+  in
+  match attempt with
+  | Error msg ->
+      let report =
+        compile ?name ?fuse ?proto ~instances ~verify ~lint coll f
+      in
+      (report, Sym_fallback msg)
+  | Ok r ->
+      if differential then begin
+        let reference =
+          compile ?name ?fuse ?proto ~instances:1 ~verify:false ~lint:false
+            coll f
+        in
+        if not (Ir.equal (Lazy.force r.Replicate.r_ir) reference.ir) then
+          raise
+            (Sym_mismatch
+               (Printf.sprintf
+                  "replicated IR differs from the full-trace IR (%s)"
+                  (Lazy.force r.Replicate.r_ir).Ir.name))
+      end;
+      let ir = Instances.blocked (Lazy.force r.Replicate.r_ir) ~instances in
+      if verify then Verify.check_exn ir;
+      let diagnostics = if lint then Lint.run ir else [] in
+      if Lint.has_errors diagnostics then
+        raise (Lint_error (Lint.errors diagnostics));
+      ( {
+          chunk_ops = r.Replicate.r_chunk_ops;
+          instrs_before_fusion = r.Replicate.r_instrs_before_fusion;
+          fusion = r.Replicate.r_fusion;
+          instrs_after_fusion = r.Replicate.r_instrs_after_fusion;
+          lint = diagnostics;
+          ir;
+        },
+        Sym_replicated )
+
 let pp_report fmt r =
   Format.fprintf fmt
     "%s@ chunk ops: %d, instrs: %d -> %d after fusion (%a)" (Ir.summary r.ir)

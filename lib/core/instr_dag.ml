@@ -19,6 +19,15 @@ type track = {
 
 let fresh_track n = Array.init n (fun _ -> { lw = None; readers = [] })
 
+(* Last-writer/reader tracking cells: dense per-rank arrays when the DAG
+   plausibly touches most of the machine, an on-demand table when it
+   covers a vanishing fraction (the symmetry-aware path lowers a single
+   representative slice of an O(ranks^2)-cell machine). Identical
+   semantics either way. *)
+type tracks =
+  | Dense_tracks of track array
+  | Sparse_tracks of (int, track_cell) Hashtbl.t  (* (rank,buf,idx) key *)
+
 let make_tracks coll scratch_sizes =
   let in_size = Collective.input_buffer_size coll in
   let out_size = Collective.output_buffer_size coll in
@@ -32,20 +41,57 @@ let make_tracks coll scratch_sizes =
 (* Iterate the cells a location covers in place — lowering visits every
    instruction's cells several times, so avoid an Array.sub per visit. *)
 let iter_track_cells tracks coll (l : Loc.t) f =
-  let tr = tracks.(l.Loc.rank) in
-  let arr =
-    match l.Loc.buf with
-    | Buffer_id.Input -> tr.t_in
-    | Buffer_id.Output -> if coll.Collective.inplace then tr.t_in else tr.t_out
-    | Buffer_id.Scratch -> tr.t_scr
-  in
-  for k = l.Loc.index to l.Loc.index + l.Loc.count - 1 do
-    f arr.(k)
-  done
+  match tracks with
+  | Dense_tracks tracks ->
+      let tr = tracks.(l.Loc.rank) in
+      let arr =
+        match l.Loc.buf with
+        | Buffer_id.Input -> tr.t_in
+        | Buffer_id.Output ->
+            if coll.Collective.inplace then tr.t_in else tr.t_out
+        | Buffer_id.Scratch -> tr.t_scr
+      in
+      for k = l.Loc.index to l.Loc.index + l.Loc.count - 1 do
+        f arr.(k)
+      done
+  | Sparse_tracks tbl ->
+      let tag =
+        match l.Loc.buf with
+        | Buffer_id.Input -> 0
+        | Buffer_id.Output -> if coll.Collective.inplace then 0 else 1
+        | Buffer_id.Scratch -> 2
+      in
+      let base = ((l.Loc.rank * 3) + tag) lsl 31 in
+      for k = l.Loc.index to l.Loc.index + l.Loc.count - 1 do
+        let key = base lor k in
+        match Hashtbl.find_opt tbl key with
+        | Some c -> f c
+        | None ->
+            let c = { lw = None; readers = [] } in
+            Hashtbl.add tbl key c;
+            f c
+      done
 
 let of_chunk_dag (dag : Chunk_dag.t) =
   let coll = dag.Chunk_dag.collective in
-  let tracks = make_tracks coll dag.Chunk_dag.scratch_sizes in
+  let tracks =
+    let dense_cells =
+      coll.Collective.num_ranks
+      * (Collective.input_buffer_size coll
+        + (if coll.Collective.inplace then 0
+           else Collective.output_buffer_size coll))
+      + Array.fold_left ( + ) 0 dag.Chunk_dag.scratch_sizes
+    in
+    let footprint =
+      Array.fold_left
+        (fun acc (n : Chunk_dag.node) ->
+          acc + n.Chunk_dag.src.Loc.count + n.Chunk_dag.dst.Loc.count)
+        0 dag.Chunk_dag.nodes
+    in
+    if dense_cells > (4 * footprint) + 4096 then
+      Sparse_tracks (Hashtbl.create (2 * footprint))
+    else Dense_tracks (make_tracks coll dag.Chunk_dag.scratch_sizes)
+  in
   let acc = ref [] in
   let next = ref 0 in
   let new_instr ~rank ~op ~src ~dst ~send_peer ~recv_peer ~ch ~count

@@ -12,10 +12,24 @@ type cell = {
 let fresh_cell () =
   { chunk = Chunk.uninit; version = 0; last_writer = None; readers = [] }
 
+(* Cells live either in dense per-buffer arrays (the default: O(1) access,
+   eager precondition initialization) or in a sparse on-demand table (used
+   by the symmetry-aware path, whose representative slice touches O(P) of
+   the O(P^2) cells a dense allocation would pay for). Both views have
+   identical semantics: a cell springs into existence holding its
+   precondition chunk (input) or uninitialized (output/scratch). *)
+type buf_store =
+  | Dense of cell array
+  | Sparse of {
+      size : int;  (* declared buffer size, -1 = growable (scratch) *)
+      tbl : (int, cell) Hashtbl.t;
+      init : int -> Chunk.t;
+    }
+
 type rank_state = {
-  input : cell array;
-  output : cell array;  (* == input when in-place *)
-  mutable scratch : cell array;
+  input : buf_store;
+  output : buf_store;  (* == input when in-place *)
+  mutable scratch : buf_store;
   mutable scratch_used : int;
 }
 
@@ -38,20 +52,52 @@ let name t = t.prog_name
 let collective t = t.coll
 let num_ranks t = t.coll.Collective.num_ranks
 
-let create ?(name = "program") coll =
+let create ?(name = "program") ?(sparse = false) coll =
   let in_size = Collective.input_buffer_size coll in
   let out_size = Collective.output_buffer_size coll in
   let make_rank rank =
-    let input = Array.init in_size (fun _ -> fresh_cell ()) in
-    Array.iteri
-      (fun index cell ->
-        cell.chunk <- Collective.precondition coll ~rank ~index)
-      input;
-    let output =
-      if coll.Collective.inplace then input
-      else Array.init out_size (fun _ -> fresh_cell ())
-    in
-    { input; output; scratch = [||]; scratch_used = 0 }
+    if sparse then begin
+      let input =
+        Sparse
+          {
+            size = in_size;
+            tbl = Hashtbl.create 16;
+            init = (fun index -> Collective.precondition coll ~rank ~index);
+          }
+      in
+      let output =
+        if coll.Collective.inplace then input
+        else
+          Sparse
+            {
+              size = out_size;
+              tbl = Hashtbl.create 16;
+              init = (fun _ -> Chunk.uninit);
+            }
+      in
+      let scratch =
+        Sparse
+          { size = -1; tbl = Hashtbl.create 16; init = (fun _ -> Chunk.uninit) }
+      in
+      { input; output; scratch; scratch_used = 0 }
+    end
+    else begin
+      let input = Array.init in_size (fun _ -> fresh_cell ()) in
+      Array.iteri
+        (fun index cell ->
+          cell.chunk <- Collective.precondition coll ~rank ~index)
+        input;
+      let output =
+        if coll.Collective.inplace then input
+        else Array.init out_size (fun _ -> fresh_cell ())
+      in
+      {
+        input = Dense input;
+        output = Dense output;
+        scratch = Dense [||];
+        scratch_used = 0;
+      }
+    end
   in
   {
     prog_name = name;
@@ -75,36 +121,54 @@ let rank_state t rank =
   if rank < 0 || rank >= num_ranks t then error "rank %d out of range" rank;
   t.ranks.(rank)
 
-(* Grow the scratch buffer so that [n] cells exist. *)
+(* Grow the (dense) scratch buffer so that [n] cells exist. *)
 let ensure_scratch rs n =
-  if n > Array.length rs.scratch then begin
-    let cap = max 8 (max n (2 * Array.length rs.scratch)) in
-    let bigger = Array.init cap (fun i ->
-        if i < Array.length rs.scratch then rs.scratch.(i) else fresh_cell ())
-    in
-    rs.scratch <- bigger
-  end;
+  (match rs.scratch with
+  | Dense arr when n > Array.length arr ->
+      let cap = max 8 (max n (2 * Array.length arr)) in
+      let bigger =
+        Array.init cap (fun i ->
+            if i < Array.length arr then arr.(i) else fresh_cell ())
+      in
+      rs.scratch <- Dense bigger
+  | Dense _ | Sparse _ -> ());
   if n > rs.scratch_used then rs.scratch_used <- n
+
+let store_sub store (l : Loc.t) what =
+  let last = l.Loc.index + l.Loc.count in
+  match store with
+  | Dense arr ->
+      if last > Array.length arr then
+        error "%a exceeds %s buffer of %d chunk(s)" Loc.pp l what
+          (Array.length arr)
+      else Array.sub arr l.Loc.index l.Loc.count
+  | Sparse { size; tbl; init } ->
+      if size >= 0 && last > size then
+        error "%a exceeds %s buffer of %d chunk(s)" Loc.pp l what size
+      else
+        Array.init l.Loc.count (fun i ->
+            let index = l.Loc.index + i in
+            match Hashtbl.find_opt tbl index with
+            | Some c -> c
+            | None ->
+                let c = fresh_cell () in
+                c.chunk <- init index;
+                Hashtbl.add tbl index c;
+                c)
 
 (* Cells covered by a location, for reading ([grow=false]) or writing. *)
 let cells t (l : Loc.t) ~grow =
   let rs = rank_state t l.Loc.rank in
   let last = l.Loc.index + l.Loc.count in
-  let fixed arr what =
-    if last > Array.length arr then
-      error "%a exceeds %s buffer of %d chunk(s)" Loc.pp l what
-        (Array.length arr)
-    else Array.sub arr l.Loc.index l.Loc.count
-  in
   match canon t l.Loc.buf with
-  | Buffer_id.Input -> fixed rs.input "input"
-  | Buffer_id.Output -> fixed rs.output "output"
+  | Buffer_id.Input -> store_sub rs.input l "input"
+  | Buffer_id.Output -> store_sub rs.output l "output"
   | Buffer_id.Scratch ->
       if grow then ensure_scratch rs last
       else if last > rs.scratch_used then
         error "%a reads past the scratch buffer (%d chunk(s) used)" Loc.pp l
           rs.scratch_used;
-      Array.sub rs.scratch l.Loc.index l.Loc.count
+      store_sub rs.scratch l "scratch"
 
 let make_loc t ~rank ~buf ~index ~count =
   if count <= 0 then error "nonpositive count %d" count;
@@ -245,7 +309,7 @@ let finish t =
   Chunk_dag.validate dag;
   dag
 
-let trace ?name coll f =
-  let t = create ?name coll in
+let trace ?name ?sparse coll f =
+  let t = create ?name ?sparse coll in
   f t;
   finish t

@@ -28,10 +28,16 @@ type xref
 exception Trace_error of string
 (** Raised on any violation of the DSL rules, with a located message. *)
 
-val create : ?name:string -> Collective.t -> t
+val create : ?name:string -> ?sparse:bool -> Collective.t -> t
 (** Starts tracing a program implementing the given collective. Buffers are
     initialized from the collective's precondition; when the collective is
-    in-place, [Input] and [Output] alias. *)
+    in-place, [Input] and [Output] alias.
+
+    [sparse] (default false) allocates cells on demand instead of eagerly
+    materializing every rank's buffers — same semantics, but tracing a
+    program that touches [k] cells costs O(k) instead of
+    O(ranks x buffer size). Used by the symmetry-aware compile path, whose
+    representative slice touches a vanishing fraction of the machine. *)
 
 val name : t -> string
 
@@ -69,5 +75,5 @@ val finish : t -> Chunk_dag.t
     the program or its references raise {!Trace_error}. *)
 
 val trace :
-  ?name:string -> Collective.t -> (t -> unit) -> Chunk_dag.t
+  ?name:string -> ?sparse:bool -> Collective.t -> (t -> unit) -> Chunk_dag.t
 (** [trace coll f] = create, run [f], finish. *)

@@ -117,11 +117,26 @@ type conn = {
   c_proxy_queue : (float * (unit -> unit)) Queue.t;  (* wire bytes, arrival *)
 }
 
-let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
-    ?timeline ?faults ?watchdog_s (ir : Ir.t) =
+(* Cohort (quotient) simulation view: only ranks [0, q_stride) are
+   simulated; every simulated thread block stands for the [q_width]
+   members of its rank's orbit under the joint shift-by-[q_stride]
+   symmetry of IR and topology. Connections are canonicalized by orbit
+   and link resources are merged into orbit representatives with
+   capacities scaled by (orbit size / width), which reproduces the exact
+   per-flow rates of the full run (see DESIGN.md). *)
+type quot = {
+  q_stride : int;  (* representative ranks: 0 .. q_stride-1 *)
+  q_width : int;  (* orbit size = num_ranks / q_stride *)
+  q_hop : int array;  (* resource id -> orbit-canonical resource id *)
+  q_caps : float array;  (* engine capacities, orbit-scaled at canonicals *)
+  q_total_tbs : int;  (* full-machine thread blocks (launch overhead) *)
+}
+
+let run_impl ~topo ~chunk_bytes ~max_tiles ~check_occupancy ~timeline ~faults
+    ~watchdog_s ~(proto : T.Protocol.t) ~(gpus : Ir.gpu array) ~p_full ~quot =
   if chunk_bytes <= 0. then error "chunk_bytes must be positive";
-  if Ir.num_ranks ir <> T.Topology.num_ranks topo then
-    error "IR has %d ranks but topology %s has %d" (Ir.num_ranks ir)
+  if p_full <> T.Topology.num_ranks topo then
+    error "IR has %d ranks but topology %s has %d" p_full
       (T.Topology.name topo)
       (T.Topology.num_ranks topo);
   (if check_occupancy then
@@ -134,7 +149,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
              "rank %d needs %d thread blocks but %s has %d SMs (cooperative \
               launch requires all thread blocks resident)"
              g.Ir.gpu_id n (T.Topology.name topo) sm)
-       ir.Ir.gpus);
+       gpus);
   let resolved = Option.map (fun p -> Plan.resolve ~topo p) faults in
   let watchdog_timeout =
     match watchdog_s with
@@ -144,7 +159,6 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
         else Some t
     | None -> if faults = None then None else Some 1.0
   in
-  let proto = ir.Ir.proto in
   let slots = T.Protocol.num_slots proto in
   let slot_bytes = float_of_int (T.Protocol.slot_bytes proto) in
   let eff = T.Protocol.efficiency proto in
@@ -154,9 +168,12 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   in
   let tile_bytes = chunk_bytes /. float_of_int ntiles in
   let capacities =
-    Array.map
-      (fun (r : T.Topology.resource) -> r.T.Topology.capacity)
-      (T.Topology.resources topo)
+    match quot with
+    | Some q -> q.q_caps
+    | None ->
+        Array.map
+          (fun (r : T.Topology.resource) -> r.T.Topology.capacity)
+          (T.Topology.resources topo)
   in
   let eng = Msccl_sim.Engine.create ~capacities in
   let local_bw = T.Topology.local_bandwidth topo in
@@ -172,16 +189,39 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   let gamma_mult r =
     match resolved with None -> 1.0 | Some rv -> rv.Plan.r_gamma.(r)
   in
-  (* Connections, keyed by (src, dst, ch). *)
+  (* Connections, keyed by (src, dst, ch). In cohort mode the key is the
+     orbit-canonical endpoint pair — the representative sender's sends and
+     the representative receiver's receives of the same orbit meet on one
+     shared connection, whose FIFO and proxy state tracks any one member
+     connection of the full run in lockstep. *)
+  let canon ~src ~dst =
+    match quot with
+    | None -> (src, dst)
+    | Some q ->
+        let base = src - (src mod q.q_stride) in
+        (src - base, (((dst - base) mod p_full) + p_full) mod p_full)
+  in
   let conns : (int * int * int, conn) Hashtbl.t = Hashtbl.create 64 in
   let conn_of ~src ~dst ~ch =
+    let src, dst = canon ~src ~dst in
     let key = (src, dst, ch) in
     match Hashtbl.find_opt conns key with
     | Some c -> c
     | None ->
+        let route =
+          let r = T.Topology.route topo ~src ~dst in
+          match quot with
+          | None -> r
+          | Some q ->
+              {
+                r with
+                T.Topology.hops =
+                  List.map (fun h -> q.q_hop.(h)) r.T.Topology.hops;
+              }
+        in
         let c =
           {
-            c_route = T.Topology.route topo ~src ~dst;
+            c_route = route;
             c_in_flight = 0;
             c_arrived = 0;
             c_waiting_recv = None;
@@ -215,9 +255,17 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
               ts_wait = None;
             })
           g.Ir.tbs)
-      ir.Ir.gpus
+      gpus
   in
-  let total_tbs = Ir.num_thread_blocks ir in
+  (* [total_tbs] drives progress/hang accounting over the simulated thread
+     blocks; the kernel launch pays for every thread block of the full
+     machine. *)
+  let total_tbs =
+    Array.fold_left (fun acc (g : Ir.gpu) -> acc + Array.length g.Ir.tbs) 0 gpus
+  in
+  let launch_tbs =
+    match quot with Some q -> q.q_total_tbs | None -> total_tbs
+  in
   let finished = ref 0 in
   let finish_time = ref 0. in
   let messages = ref 0 in
@@ -284,7 +332,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
           ~cat:"instr" ~pid:st.ts_rank ~tid:st.ts_tb.Ir.tb_id
           ~ts:st.ts_span_start ~dur:(now -. st.ts_span_start)
   in
-  let net_pid = Ir.num_ranks ir in
+  let net_pid = p_full in
   let fault_pid = net_pid + 1 in
   let record_transfer ~src ~dst ~start =
     match timeline with
@@ -475,7 +523,7 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
   in
   let launch =
     T.Topology.launch_overhead topo
-    +. (T.Topology.per_tb_launch topo *. float_of_int total_tbs)
+    +. (T.Topology.per_tb_launch topo *. float_of_int launch_tbs)
   in
   last_progress := launch;
   (* Degradation/restore windows become capacity events on the engine,
@@ -713,14 +761,21 @@ let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
     error "simulation deadlock (%d of %d thread blocks finished)%s" !finished
       total_tbs (Buffer.contents stuck)
   end;
+  let width = match quot with Some q -> q.q_width | None -> 1 in
   {
     time = !finish_time;
     kernel_time = !finish_time -. launch;
     tiles = ntiles;
-    messages = !messages;
-    wire_bytes = !wire_bytes;
+    messages = !messages * width;
+    wire_bytes = !wire_bytes *. float_of_int width;
     events = Msccl_sim.Engine.events_processed eng;
   }
+
+let run ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
+    ?timeline ?faults ?watchdog_s (ir : Ir.t) =
+  run_impl ~topo ~chunk_bytes ~max_tiles ~check_occupancy ~timeline ~faults
+    ~watchdog_s ~proto:ir.Ir.proto ~gpus:ir.Ir.gpus
+    ~p_full:(Ir.num_ranks ir) ~quot:None
 
 let run_buffer ~topo ~buffer_bytes ?max_tiles ?check_occupancy ?timeline
     ?faults ?watchdog_s (ir : Ir.t) =
@@ -730,3 +785,162 @@ let run_buffer ~topo ~buffer_bytes ?max_tiles ?check_occupancy ?timeline
     ?max_tiles ?check_occupancy ?timeline ?faults ?watchdog_s ir
 
 let algbw ~buffer_bytes result = buffer_bytes /. result.time
+
+(* ---- Cohort (symmetry-aware) simulation ------------------------------- *)
+
+type cohort = {
+  co_stride : int;
+  co_width : int;
+  co_fallback : string option;
+}
+
+(* Peer-offset families actually used by the replicated program: the send
+   and receive deltas of the representative rank. Every connection of the
+   full machine is (g, g+d mod P) for some d in this set, because all rank
+   programs are shift images of the representative. *)
+let deltas_of_rep p (rep : Ir.gpu) =
+  let ds = Hashtbl.create 8 in
+  Array.iter
+    (fun (tb : Ir.tb) ->
+      if tb.Ir.send >= 0 then
+        Hashtbl.replace ds ((((tb.Ir.send - rep.Ir.gpu_id) mod p) + p) mod p) ();
+      if tb.Ir.recv >= 0 then
+        Hashtbl.replace ds ((((rep.Ir.gpu_id - tb.Ir.recv) mod p) + p) mod p) ())
+    rep.Ir.tbs;
+  Hashtbl.fold (fun d () acc -> d :: acc) ds []
+
+exception Asym
+
+(* Certify rank shift-by-[stride] as a topology automorphism over the
+   routes the program uses: for every used delta [d] and every source
+   rank [g], route(g+stride, g+d+stride) must be the image of
+   route(g, g+d) under one consistent resource bijection rho with equal
+   capacities, alphas, per-tb caps and link kinds. On success, returns
+   the orbit-canonical resource map and the quotient capacities: a
+   resource orbit of size [o] merges into its canonical member at
+   capacity scaled by [o / width], which — together with per-occurrence
+   hop counting in the engine — makes every cohort flow's share equal to
+   its member flows' share in the full run. *)
+let certify_stride topo ~deltas ~stride =
+  let p = T.Topology.num_ranks topo in
+  let width = p / stride in
+  let res = T.Topology.resources topo in
+  let n = Array.length res in
+  let cap i = res.(i).T.Topology.capacity in
+  let rho = Array.make n (-1) in
+  let rho_inv = Array.make n (-1) in
+  try
+    List.iter
+      (fun d ->
+        for g = 0 to p - 1 do
+          let r1 = T.Topology.route topo ~src:g ~dst:((g + d) mod p) in
+          let g' = (g + stride) mod p in
+          let r2 = T.Topology.route topo ~src:g' ~dst:((g' + d) mod p) in
+          if
+            r1.T.Topology.base_alpha <> r2.T.Topology.base_alpha
+            || r1.T.Topology.tb_cap <> r2.T.Topology.tb_cap
+            || r1.T.Topology.kind <> r2.T.Topology.kind
+          then raise Asym;
+          let rec map h1 h2 =
+            match (h1, h2) with
+            | [], [] -> ()
+            | a :: t1, b :: t2 ->
+                if cap a <> cap b then raise Asym;
+                (if rho.(a) = -1 && rho_inv.(b) = -1 then begin
+                   rho.(a) <- b;
+                   rho_inv.(b) <- a
+                 end
+                 else if rho.(a) <> b then raise Asym);
+                map t1 t2
+            | _ -> raise Asym
+          in
+          map r1.T.Topology.hops r2.T.Topology.hops
+        done)
+      deltas;
+    (* rho is a permutation of the touched resources (cycles close because
+       the delta families are full shift orbits). Merge each cycle into
+       its first member. *)
+    let hop_map = Array.init n (fun i -> i) in
+    let caps = Array.init n cap in
+    let seen = Array.make n false in
+    for i = 0 to n - 1 do
+      if rho.(i) >= 0 && not seen.(i) then begin
+        let rec cycle acc j =
+          if j = i then acc
+          else if rho.(j) = -1 then raise Asym
+          else cycle (j :: acc) rho.(j)
+        in
+        let members = i :: cycle [] rho.(i) in
+        let o = List.length members in
+        if width mod o <> 0 then raise Asym;
+        List.iter
+          (fun j ->
+            seen.(j) <- true;
+            hop_map.(j) <- i)
+          members;
+        caps.(i) <- cap i *. float_of_int o /. float_of_int width
+      end
+    done;
+    Some (hop_map, caps)
+  with Asym -> None
+
+let divisors p =
+  let rec go d acc =
+    if d >= p then List.rev acc
+    else go (d + 1) (if p mod d = 0 then d :: acc else acc)
+  in
+  go 1 []
+
+let run_sym ~topo ~chunk_bytes ?(max_tiles = 4) ?(check_occupancy = true)
+    ?timeline ?faults ?watchdog_s (r : Replicate.result) =
+  let p = r.Replicate.r_num_ranks in
+  if p <> T.Topology.num_ranks topo then
+    error "replicated IR has %d ranks but topology %s has %d" p
+      (T.Topology.name topo)
+      (T.Topology.num_ranks topo);
+  let scalar reason =
+    let res =
+      run ~topo ~chunk_bytes ~max_tiles ~check_occupancy ?timeline ?faults
+        ?watchdog_s
+        (Lazy.force r.Replicate.r_ir)
+    in
+    (res, { co_stride = p; co_width = 1; co_fallback = Some reason })
+  in
+  if faults <> None then
+    (* Any fault plan may distinguish orbit members (stragglers, windows,
+       stalls target concrete ranks and links), so the cohorts split
+       wholesale to the scalar path — conservative and exact. *)
+    scalar "fault plan present: cohorts split to the exact scalar path"
+  else if timeline <> None then
+    scalar "timeline capture needs per-rank spans"
+  else
+    let deltas = deltas_of_rep p r.Replicate.r_rep in
+    match
+      List.find_map
+        (fun stride ->
+          Option.map
+            (fun (hop_map, caps) -> (stride, hop_map, caps))
+            (certify_stride topo ~deltas ~stride))
+        (divisors p)
+    with
+    | None -> scalar "no shift symmetry of the topology certified"
+    | Some (stride, hop_map, caps) ->
+        let width = p / stride in
+        let gpus = Array.init stride r.Replicate.r_gpu in
+        let total_tbs = p * Array.length r.Replicate.r_rep.Ir.tbs in
+        let quot =
+          Some
+            {
+              q_stride = stride;
+              q_width = width;
+              q_hop = hop_map;
+              q_caps = caps;
+              q_total_tbs = total_tbs;
+            }
+        in
+        let res =
+          run_impl ~topo ~chunk_bytes ~max_tiles ~check_occupancy
+            ~timeline:None ~faults:None ~watchdog_s
+            ~proto:r.Replicate.r_proto ~gpus ~p_full:p ~quot
+        in
+        (res, { co_stride = stride; co_width = width; co_fallback = None })

@@ -141,3 +141,55 @@ val run_buffer :
 val algbw : buffer_bytes:float -> result -> float
 (** Algorithm bandwidth in bytes/second: buffer size divided by time (the
     usual nccl-tests metric). *)
+
+(** {1 Cohort (symmetry-aware) simulation}
+
+    A replicated program ({!Replicate}) is shift-symmetric by
+    construction: rank [g]'s program is rank [0]'s with peers shifted by
+    [g]. When the {e topology} is also invariant under rank
+    shift-by-[stride] (certified against the routes the program actually
+    uses), the full run is [width = P/stride] interleaved copies of one
+    representative run in lockstep, so simulating only ranks
+    [0..stride-1] reproduces the exact completion time:
+
+    - connections are canonicalized by shift orbit, pairing the
+      representative sender's sends with the representative receiver's
+      receives on one shared FIFO/proxy state;
+    - link resources merge into orbit representatives with capacity
+      scaled by [orbit size / width], which preserves every flow's
+      bandwidth share (hops are counted per occurrence, so a route
+      crossing two merged siblings contends twice, exactly as its two
+      physical hops did);
+    - [messages] and [wire_bytes] are scaled back to full-machine counts;
+      [events] is the quotient count — the measure of work saved.
+
+    Event counts and times are bit-identical to {!run} on the scalar
+    fallback and time-identical (with ~[width]× fewer events) on the
+    cohort path; the identity is asserted by the test suite. *)
+
+type cohort = {
+  co_stride : int;  (** Representative ranks actually simulated. *)
+  co_width : int;  (** Ranks per cohort ([1] on the scalar fallback). *)
+  co_fallback : string option;
+      (** Why the exact scalar path ran instead, when it did. *)
+}
+
+val run_sym :
+  topo:Msccl_topology.Topology.t ->
+  chunk_bytes:float ->
+  ?max_tiles:int ->
+  ?check_occupancy:bool ->
+  ?timeline:Timeline.t ->
+  ?faults:Msccl_faults.Plan.t ->
+  ?watchdog_s:float ->
+  Replicate.result ->
+  result * cohort
+(** {!run} over the quotient. Falls back to the exact scalar path (forcing
+    the replicated IR) whenever the symmetry cannot be exploited: a fault
+    plan is present (faults target concrete ranks and links, splitting
+    the cohorts — conservatively handled by splitting wholesale at
+    launch), a timeline is requested (spans are per physical rank), or no
+    rank shift is a certified automorphism of the topology over the
+    routes used. The fallback accepts every {!run} feature, so cohort
+    simulation composes with {!Msccl_faults.Plan} and the watchdog
+    unconditionally. *)

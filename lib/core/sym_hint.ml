@@ -1,0 +1,63 @@
+(* A symmetry hint declared by an algorithm: the program is a union of
+   [num_ranks] slices, where slice k is the image of slice 0 under k
+   applications of the rank rotation pi(r) = r + shift mod P together with
+   a per-buffer chunk-index rotation psi. The hint lets the compiler trace
+   and schedule one representative slice and instantiate the rest by index
+   arithmetic; it is never trusted — the replicated result is certified
+   post hoc and any failure falls back to the full pipeline. *)
+
+type kind =
+  | Ring_shift of int  (* pi(r) = (r + s) mod P, slices = orbit of slice 0 *)
+  | Block_shift of { block : int }
+      (* pi(r) = block_start + (r - block_start + 1) mod block: a
+         certification-only hint (hierarchical algorithms); carries no
+         slice decomposition, so replicated compilation always falls back
+         and only the symmetry certificate is reused. *)
+
+type t = {
+  kind : kind;
+  trace_rep : Program.t -> unit;
+      (* Emits only the representative slice (slice 0) of the program. *)
+  d_input : int;  (* chunk-index delta per slice, input buffer *)
+  d_output : int;
+  d_scratch : int;
+  scratch_chunks : int;
+      (* Rank-uniform scratch footprint of the *full* program in chunks
+         (the sliced trace only sees slice 0's share). *)
+}
+
+let ring_shift ?(d_input = 0) ?(d_output = 0) ?(d_scratch = 0)
+    ?(scratch_chunks = 0) ~shift trace_rep =
+  {
+    kind = Ring_shift shift;
+    trace_rep;
+    d_input;
+    d_output;
+    d_scratch;
+    scratch_chunks;
+  }
+
+let block_shift ~block =
+  {
+    kind = Block_shift { block };
+    trace_rep = (fun _ -> ());
+    d_input = 0;
+    d_output = 0;
+    d_scratch = 0;
+    scratch_chunks = 0;
+  }
+
+let name t ~num_ranks =
+  match t.kind with
+  | Ring_shift s -> Printf.sprintf "shift+%d" (s mod num_ranks)
+  | Block_shift { block } -> Printf.sprintf "intra+1/%d" block
+
+(* The permutation the hint claims, as an explicit rank -> image array
+   (what Symmetry.verify_candidate certifies). *)
+let perm t ~num_ranks =
+  match t.kind with
+  | Ring_shift s -> Array.init num_ranks (fun r -> (r + s) mod num_ranks)
+  | Block_shift { block } ->
+      Array.init num_ranks (fun r ->
+          let base = r - (r mod block) in
+          base + ((r - base + 1) mod block))

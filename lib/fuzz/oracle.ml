@@ -9,8 +9,20 @@ type id =
   | Perf
   | Roundtrip
   | Chaos
+  | Sym_compile
 
-let all = [ Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos ]
+let all =
+  [
+    Exec;
+    Equiv;
+    Static;
+    Symmetry;
+    Provenance;
+    Perf;
+    Roundtrip;
+    Chaos;
+    Sym_compile;
+  ]
 
 let id_name = function
   | Exec -> "exec"
@@ -21,6 +33,7 @@ let id_name = function
   | Perf -> "perf"
   | Roundtrip -> "roundtrip"
   | Chaos -> "chaos"
+  | Sym_compile -> "sym_compile"
 
 let id_of_name = function
   | "exec" -> Some Exec
@@ -31,6 +44,7 @@ let id_of_name = function
   | "perf" -> Some Perf
   | "roundtrip" -> Some Roundtrip
   | "chaos" -> Some Chaos
+  | "sym_compile" -> Some Sym_compile
   | _ -> None
 
 type failure = {
@@ -403,6 +417,101 @@ let check_chaos (c : Case.t) (ir : Ir.t) =
       else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* Sym_compile: replicated compilation and cohort simulation are       *)
+(* semantically invisible                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The case's knob vector (rank count, channels, channel rotation,
+   protocol, fusion) parameterizes a shift-[s] ring AllReduce sibling:
+   the ring visits the ranks in arithmetic order 0, s, 2s, ... with
+   gcd(s, num_ranks) = 1, the shift drawn from the case's seed. The
+   sibling is compiled twice — replicated from its one-slice hint and
+   through the full pipeline — and simulated twice — cohort-batched and
+   scalar. Both pairs must be indistinguishable: byte-identical XML and
+   identical completion time / message count / wire bytes. *)
+let check_sym_compile (c : Case.t) =
+  let p = Case.num_ranks c in
+  let channels = max 1 c.Case.channels in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let coprimes =
+    List.filter (fun s -> gcd s p = 1) (List.init (max 1 (p - 1)) (( + ) 1))
+  in
+  let s =
+    List.nth coprimes ((c.Case.seed + c.Case.index) mod List.length coprimes)
+  in
+  let ranks = List.init p (fun i -> i * s mod p) in
+  let ch ~hop = Some ((hop + c.Case.chan_rot) mod channels) in
+  let body ?only prog =
+    Msccl_algorithms.Patterns.ring_reduce_scatter prog ~ranks ~offset:0
+      ~count:1 ~ch ?only ();
+    Msccl_algorithms.Patterns.ring_all_gather prog ~ranks ~offset:0 ~count:1
+      ~ch ~hop_base:(p - 1) ?only ()
+  in
+  let coll =
+    Collective.make Collective.Allreduce ~num_ranks:p ~chunk_factor:p
+      ~inplace:true ()
+  in
+  let hint =
+    Sym_hint.ring_shift ~shift:s ~d_input:1 (body ~only:(Int.equal 0))
+  in
+  let ( let* ) = Result.bind in
+  let* rep =
+    match
+      Compile.compile_sym ~name:"sym-sibling" ~fuse:c.Case.fuse
+        ~proto:c.Case.proto ~verify:false ~differential:true ~hint coll body
+    with
+    | report, Compile.Sym_replicated -> Ok report
+    | _, Compile.Sym_fallback m ->
+        fail Sym_compile
+          "replicated compile of the shift-%d ring sibling fell back: %s" s m
+  in
+  let full =
+    Compile.compile ~name:"sym-sibling" ~fuse:c.Case.fuse ~proto:c.Case.proto
+      ~verify:false coll body
+  in
+  let* () =
+    if String.equal (Xml.to_string rep.ir) (Xml.to_string full.ir) then Ok ()
+    else
+      fail Sym_compile
+        "replicated IR prints differently from the full pipeline's (shift %d, \
+         %d ranks)"
+        s p
+  in
+  let r = Replicate.run ~name:"sym-sibling" ~fuse:c.Case.fuse
+      ~proto:c.Case.proto ~hint coll
+  in
+  let topo = Case.topology c in
+  let chunk_bytes =
+    float_of_int Perfcheck.default_size_bytes /. float_of_int p
+  in
+  let scalar =
+    Simulator.run ~topo ~chunk_bytes ~check_occupancy:false
+      (Lazy.force r.Replicate.r_ir)
+  in
+  let cohort, co =
+    Simulator.run_sym ~topo ~chunk_bytes ~check_occupancy:false r
+  in
+  if
+    Float.abs (cohort.Simulator.time -. scalar.Simulator.time)
+    > 1e-12 *. Float.max 1. scalar.Simulator.time
+  then
+    fail Sym_compile
+      "cohort completion time %.12g s differs from the scalar simulator's \
+       %.12g s (stride %d, width %d)"
+      cohort.Simulator.time scalar.Simulator.time co.Simulator.co_stride
+      co.Simulator.co_width
+  else if cohort.Simulator.messages <> scalar.Simulator.messages then
+    fail Sym_compile "cohort message count %d differs from the scalar %d"
+      cohort.Simulator.messages scalar.Simulator.messages
+  else if
+    Float.abs (cohort.Simulator.wire_bytes -. scalar.Simulator.wire_bytes)
+    > 1e-6 *. Float.max 1. scalar.Simulator.wire_bytes
+  then
+    fail Sym_compile "cohort wire bytes %g differ from the scalar %g"
+      cohort.Simulator.wire_bytes scalar.Simulator.wire_bytes
+  else Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Roundtrip: Ir -> Xml -> Ir is lossless and prints stably            *)
 (* ------------------------------------------------------------------ *)
 
@@ -437,6 +546,7 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
     | Simulator.Sim_error m -> fail oracle "simulator: %s" m
     | Simulator.Hang h -> fail oracle "hang: %s" (Simulator.hang_message h)
     | Instances.Replication_error m -> fail oracle "replication: %s" m
+    | Replicate.Fallback m -> fail oracle "replicate: %s" m
     | Failure m -> fail oracle "%s" m
     | Invalid_argument m -> fail oracle "invalid argument: %s" m
   in
@@ -450,7 +560,8 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
         | Provenance -> check_provenance (Lazy.force primary)
         | Perf -> check_perf c (Lazy.force primary)
         | Roundtrip -> check_roundtrip (Lazy.force primary)
-        | Chaos -> check_chaos c (Lazy.force primary))
+        | Chaos -> check_chaos c (Lazy.force primary)
+        | Sym_compile -> check_sym_compile c)
   in
   let rec go = function
     | [] -> Ok ()

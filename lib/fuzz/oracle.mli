@@ -42,14 +42,26 @@ type id =
           must leave the simulation able to complete, must not make it
           finish earlier than the fault-free run, and must not mutate the
           IR (so the executor's output is unchanged). *)
+  | Sym_compile
+      (** Symmetry-aware compilation and simulation are semantically
+          invisible: a shift-[s] ring AllReduce sibling parameterized by
+          the case's knobs (ranks, channels, rotation, protocol, fusion;
+          [s] drawn from the seed, coprime with the rank count) must
+          compile replicated to the byte-identical XML of the full
+          pipeline, and its cohort-batched simulation
+          ({!Msccl_core.Simulator.run_sym}) must report exactly the
+          scalar simulator's completion time, message count and wire
+          bytes. *)
 
 val all : id list
 (** In checking order:
-    [Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos]. *)
+    [Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos;
+    Sym_compile]. *)
 
 val id_name : id -> string
 (** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["symmetry"],
-    ["provenance"], ["perf"], ["roundtrip"], ["chaos"]. *)
+    ["provenance"], ["perf"], ["roundtrip"], ["chaos"],
+    ["sym_compile"]. *)
 
 val id_of_name : string -> id option
 

@@ -22,13 +22,37 @@ let default_params =
     verify = true;
   }
 
+(* The raw ingredients of a symmetry-aware compile: what
+   [Msccl_core.Compile.compile_sym] (or its certifying wrapper
+   [Msccl_analysis.Sym_compile.compile]) needs to trace only the
+   representative slice. Kept as data so the registry stays free of any
+   analysis dependency. *)
+type sym_case = {
+  sym_coll : Msccl_core.Collective.t;
+  sym_program : Msccl_core.Program.t -> unit;
+  sym_hint : Msccl_core.Sym_hint.t;
+}
+
 type spec = {
   name : string;
   doc : string;
   build : params -> Msccl_core.Ir.t;
+  sym : (params -> sym_case) option;
+      (** Present for algorithms that declare a rank-symmetry hint. The
+          case's program and collective match [build] for the same
+          params, so a symmetry-aware compile of the case is certified
+          (and, differentially, byte-identical) against [build]'s IR. *)
 }
 
 let ranks p = p.nodes * p.gpus_per_node
+
+let no_sym = None
+
+module C = Msccl_core.Collective
+
+let allreduce_coll p =
+  C.make C.Allreduce ~num_ranks:(ranks p) ~chunk_factor:(ranks p)
+    ~inplace:true ()
 
 let all =
   [
@@ -39,6 +63,18 @@ let all =
         (fun p ->
           A.Ring_allreduce.ir ~proto:p.proto ~channels:p.channels
             ~instances:p.instances ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym =
+        Some
+          (fun p ->
+            {
+              sym_coll = allreduce_coll p;
+              sym_program =
+                A.Ring_allreduce.program ~num_ranks:(ranks p)
+                  ~channels:p.channels;
+              sym_hint =
+                A.Ring_allreduce.hint ~num_ranks:(ranks p)
+                  ~channels:p.channels;
+            });
     };
     {
       name = "allpairs-allreduce";
@@ -47,6 +83,14 @@ let all =
         (fun p ->
           A.Allpairs_allreduce.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym =
+        Some
+          (fun p ->
+            {
+              sym_coll = allreduce_coll p;
+              sym_program = A.Allpairs_allreduce.program ~num_ranks:(ranks p);
+              sym_hint = A.Allpairs_allreduce.hint ~num_ranks:(ranks p);
+            });
     };
     {
       name = "hierarchical-allreduce";
@@ -55,6 +99,7 @@ let all =
         (fun p ->
           A.Hierarchical_allreduce.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~nodes:p.nodes ~gpus_per_node:p.gpus_per_node ());
+      sym = no_sym;
     };
     {
       name = "two-step-alltoall";
@@ -63,6 +108,7 @@ let all =
         (fun p ->
           A.Two_step_alltoall.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~nodes:p.nodes ~gpus_per_node:p.gpus_per_node ());
+      sym = no_sym;
     };
     {
       name = "naive-alltoall";
@@ -71,6 +117,7 @@ let all =
         (fun p ->
           A.Alltoall_naive.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym = no_sym;
     };
     {
       name = "alltonext";
@@ -79,6 +126,7 @@ let all =
         (fun p ->
           A.Alltonext.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~nodes:p.nodes ~gpus_per_node:p.gpus_per_node ());
+      sym = no_sym;
     };
     {
       name = "ring-allgather";
@@ -88,6 +136,20 @@ let all =
           A.Allgather_ring.ir ~proto:p.proto ~channels:p.channels
             ~chunk_factor:p.chunk_factor ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym =
+        Some
+          (fun p ->
+            {
+              sym_coll =
+                C.make C.Allgather ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ();
+              sym_program =
+                A.Allgather_ring.program ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ~channels:p.channels;
+              sym_hint =
+                A.Allgather_ring.hint ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ~channels:p.channels;
+            });
     };
     {
       name = "ring-reducescatter";
@@ -97,6 +159,20 @@ let all =
           A.Reduce_scatter_ring.ir ~proto:p.proto ~channels:p.channels
             ~chunk_factor:p.chunk_factor ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym =
+        Some
+          (fun p ->
+            {
+              sym_coll =
+                C.make C.Reduce_scatter ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ();
+              sym_program =
+                A.Reduce_scatter_ring.program ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ~channels:p.channels;
+              sym_hint =
+                A.Reduce_scatter_ring.hint ~num_ranks:(ranks p)
+                  ~chunk_factor:p.chunk_factor ~channels:p.channels;
+            });
     };
     {
       name = "ring-broadcast";
@@ -106,6 +182,7 @@ let all =
           A.Broadcast_ring.ir ~proto:p.proto ~channels:p.channels
             ~chunk_factor:p.chunk_factor ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ~root:0 ());
+      sym = no_sym;
     };
     {
       name = "tree-allreduce";
@@ -115,6 +192,7 @@ let all =
           A.Tree_allreduce.ir ~proto:p.proto ~channels:p.channels
             ~chunk_factor:p.chunk_factor ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym = no_sym;
     };
     {
       name = "halving-doubling";
@@ -123,6 +201,7 @@ let all =
         (fun p ->
           A.Halving_doubling.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym = no_sym;
     };
     {
       name = "recursive-doubling-allgather";
@@ -131,6 +210,7 @@ let all =
         (fun p ->
           A.Recursive_doubling.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~num_ranks:(ranks p) ());
+      sym = no_sym;
     };
     {
       name = "double-binary-tree";
@@ -140,6 +220,7 @@ let all =
           A.Double_binary_tree.ir ~proto:p.proto ~instances:p.instances
             ~chunks_per_tree:p.chunk_factor ~verify:p.verify
             ~num_ranks:(ranks p) ());
+      sym = no_sym;
     };
     {
       name = "hierarchical-allgather";
@@ -148,6 +229,7 @@ let all =
         (fun p ->
           A.Hierarchical_allgather.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ~nodes:p.nodes ~gpus_per_node:p.gpus_per_node ());
+      sym = no_sym;
     };
     {
       name = "synth-allgather";
@@ -158,6 +240,7 @@ let all =
             ~verify:p.verify ~num_ranks:8
             ~connected:T.Presets.dgx1_connected
             ~link_count:T.Presets.dgx1_nvlink_count ());
+      sym = no_sym;
     };
     {
       name = "sccl-allgather";
@@ -166,6 +249,7 @@ let all =
         (fun p ->
           A.Allgather_sccl.ir ~proto:p.proto ~instances:p.instances
             ~verify:p.verify ());
+      sym = no_sym;
     };
   ]
 

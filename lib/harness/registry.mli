@@ -16,10 +16,25 @@ val default_params : params
 (** 1 node x 8 GPUs, 1 channel, 1 instance, Simple, chunk factor 1,
     verification on. *)
 
+type sym_case = {
+  sym_coll : Msccl_core.Collective.t;
+  sym_program : Msccl_core.Program.t -> unit;
+  sym_hint : Msccl_core.Sym_hint.t;
+}
+(** The ingredients of a symmetry-aware compile
+    ({!Msccl_core.Compile.compile_sym}, or its certifying wrapper
+    {!Msccl_analysis.Sym_compile.compile}): the collective, the full
+    program body, and the algorithm's rank-symmetry hint. *)
+
 type spec = {
   name : string;
   doc : string;
   build : params -> Msccl_core.Ir.t;
+  sym : (params -> sym_case) option;
+      (** Present for algorithms that declare a rank-symmetry hint. The
+          case matches [build] for the same params: a symmetry-aware
+          compile of it is certified (and, in differential mode,
+          byte-identical) against [build]'s IR. *)
 }
 
 val all : spec list

@@ -49,8 +49,10 @@ let small_batch = 4
 
 let map_array ?jobs f items =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let jobs = min jobs (Domain.recommended_domain_count ()) in
   let n = Array.length items in
+  (* Clamp to the cores actually available and to the item count: extra
+     domains would only spin on an exhausted index. *)
+  let jobs = min (min jobs (Domain.recommended_domain_count ())) n in
   if n = 0 then [||]
   else if jobs <= 1 || n < small_batch then Array.map f items
   else begin
