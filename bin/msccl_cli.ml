@@ -29,6 +29,21 @@ let finding_error = 1
 
 let input_error = 2
 
+(* External XML enters through the tolerant Ingest boundary: attribute
+   aliases and reordering are accepted, warnings go to stderr, and a
+   rejection prints every positioned diagnostic (JSON on [--json]) so a
+   third-party file is debuggable from one run. *)
+let ingest_file ?(json = false) f =
+  let module I = Msccl_interop.Ingest in
+  match I.load f with
+  | Ok (ir, warns) ->
+      List.iter (fun d -> prerr_endline (I.diag_to_string d)) warns;
+      Some ir
+  | Error ds ->
+      if json then print_endline (I.diags_json ds)
+      else prerr_endline (I.diags_to_string ds);
+      None
+
 (* ------------------------------------------------------------------ *)
 (* Shared argument definitions                                         *)
 (* ------------------------------------------------------------------ *)
@@ -368,9 +383,9 @@ let verify_cmd =
     let load_input () =
       match (file, algo) with
       | Some f, _ -> (
-          match Xml.load f with
-          | exception Xml.Parse_error m -> Error ("parse error: " ^ m)
-          | ir -> Ok ir)
+          match ingest_file ~json f with
+          | Some ir -> Ok ir
+          | None -> Error "")
       | None, Some a -> build_ir a H.Registry.default_params
       | None, None -> Error "need an XML file, --algo NAME, or --all"
     in
@@ -383,7 +398,7 @@ let verify_cmd =
     else
       match load_input () with
       | Error msg ->
-          prerr_endline msg;
+          if msg <> "" then prerr_endline msg;
           input_error
       | Ok ir ->
           if static then static_one ~json ir
@@ -483,11 +498,9 @@ let lint_cmd =
     match (all, file, algo) with
     | true, _, _ -> sweep ~json ?jobs ()
     | false, Some f, _ -> (
-        match Xml.load f with
-        | exception Xml.Parse_error m ->
-            Printf.eprintf "parse error: %s\n" m;
-            input_error
-        | ir -> lint_one ~json ir)
+        match ingest_file ~json f with
+        | None -> input_error
+        | Some ir -> lint_one ~json ir)
     | false, None, Some a -> (
         let params =
           build_params nodes gpus channels instances proto chunk_factor true
@@ -664,11 +677,9 @@ let analyze_cmd =
             let gpus = T.Topology.gpus_per_node topology in
             match (file, algo) with
             | Some f, _ -> (
-                match Xml.load f with
-                | exception Xml.Parse_error m ->
-                    Printf.eprintf "parse error: %s\n" m;
-                    input_error
-                | ir -> analyze_one ~json ~symmetry ~topology ~size_bytes ir)
+                match ingest_file ~json f with
+                | None -> input_error
+                | Some ir -> analyze_one ~json ~symmetry ~topology ~size_bytes ir)
             | None, Some a -> (
                 match
                   build_ir a
@@ -702,11 +713,9 @@ let show_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run file stats =
-    match Xml.load file with
-    | exception Xml.Parse_error m ->
-        Printf.eprintf "parse error: %s\n" m;
-        user_error
-    | ir ->
+    match ingest_file file with
+    | None -> input_error
+    | Some ir ->
         if stats then
           Format.printf "%s@.%a@." (Ir.summary ir) Analysis.pp
             (Analysis.analyze ir)
@@ -747,8 +756,9 @@ let simulate_cmd =
         let ir_result =
           match (file, algo) with
           | Some f, _ -> (
-              try Ok (Xml.load f)
-              with Xml.Parse_error m -> Error ("parse error: " ^ m))
+              match ingest_file f with
+              | Some ir -> Ok ir
+              | None -> Error "")
           | None, Some a ->
               build_ir a
                 (build_params nodes gpus channels instances proto chunk_factor
@@ -757,7 +767,7 @@ let simulate_cmd =
         in
         match ir_result with
         | Error msg ->
-            prerr_endline msg;
+            if msg <> "" then prerr_endline msg;
             user_error
         | Ok ir ->
             let timeline = Option.map (fun _ -> Timeline.create ()) trace in
@@ -852,8 +862,8 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Restrict checking to one oracle (repeatable): exec, equiv, static, \
-       symmetry, provenance, perf, roundtrip, chaos or sym_compile. \
-       Default: all nine."
+       symmetry, provenance, perf, roundtrip, chaos, sym_compile or \
+       ingest. Default: all ten."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"ORACLE" ~doc)
   in
@@ -882,6 +892,43 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "mutate-fusion" ] ~doc)
   in
+  let corpus_arg =
+    let doc =
+      "Imported-corpus mode: instead of generating cases, push every \
+       *.xml file under this directory through the external ingestion \
+       boundary. Each file must either ingest cleanly (and survive \
+       seeded corruptions, round-tripping through print) or be rejected \
+       with positioned structured diagnostics; anything else — an \
+       escaped exception, a position-less rejection — is a finding."
+    in
+    Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let mangles_arg =
+    let doc = "Corruptions per accepted corpus file (with --corpus)." in
+    Arg.(value & opt int 8 & info [ "mangles" ] ~docv:"N" ~doc)
+  in
+  let run_corpus ~seed ~mangles ~json ~jobs dir =
+    let r = F.Fuzz.run_corpus ?jobs ~mangles ~seed ~dir () in
+    if json then print_endline (F.Fuzz.corpus_report_json r)
+    else begin
+      List.iter
+        (fun (e : F.Fuzz.corpus_entry) ->
+          match e.F.Fuzz.ce_outcome with
+          | F.Fuzz.C_accepted { c_warnings } ->
+              Printf.printf "%-40s accepted (%d warning(s))\n"
+                e.F.Fuzz.ce_path c_warnings
+          | F.Fuzz.C_rejected { c_errors; c_first } ->
+              Printf.printf "%-40s rejected (%d error(s))\n  %s\n"
+                e.F.Fuzz.ce_path c_errors c_first
+          | F.Fuzz.C_failed m ->
+              Printf.printf "%-40s FAILED\n  %s\n" e.F.Fuzz.ce_path m)
+        r.F.Fuzz.cr_entries;
+      Printf.printf "corpus %s: %d file(s), %s\n" dir
+        (List.length r.F.Fuzz.cr_entries)
+        (if F.Fuzz.corpus_ok r then "ok" else "FAILURES")
+    end;
+    if F.Fuzz.corpus_ok r then ok else finding_error
+  in
   let resolve_oracles names =
     match names with
     | [] -> Ok F.Oracle.all
@@ -895,7 +942,8 @@ let fuzz_cmd =
                   Error
                     (Printf.sprintf
                        "unknown oracle %S (expected exec, equiv, static, \
-                        symmetry, provenance, perf, roundtrip, chaos or sym_compile)"
+                        symmetry, provenance, perf, roundtrip, chaos, \
+                        sym_compile or ingest)"
                        n))
         in
         go [] names
@@ -930,12 +978,16 @@ let fuzz_cmd =
         F.Case.save f.F.Fuzz.f_shrunk (base ^ ".case"))
       r.F.Fuzz.r_failures
   in
-  let run seed cases oracle_names json out_dir replays mutate_fusion jobs =
+  let run seed cases oracle_names json out_dir replays mutate_fusion corpus
+      mangles jobs =
     match resolve_oracles oracle_names with
     | Error msg ->
         prerr_endline msg;
         input_error
-    | Ok oracles ->
+    | Ok oracles -> (
+        match corpus with
+        | Some dir -> run_corpus ~seed ~mangles ~json ~jobs dir
+        | None ->
         if replays <> [] then replay_files ~oracles replays
         else begin
           let mutate = if mutate_fusion then Some F.Mutate.break_fusion else None in
@@ -956,7 +1008,7 @@ let fuzz_cmd =
               (List.length report.F.Fuzz.r_failures)
           end;
           if report.F.Fuzz.r_failures = [] then ok else finding_error
-        end
+        end)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -970,7 +1022,7 @@ let fuzz_cmd =
           Exit 1 on failures, 2 on unusable input.")
     Term.(
       const run $ seed_arg $ cases_arg $ oracle_arg $ json_arg $ out_dir_arg
-      $ replay_arg $ mutate_arg $ jobs_arg)
+      $ replay_arg $ mutate_arg $ corpus_arg $ mangles_arg $ jobs_arg)
 
 let chaos_cmd =
   let quick_arg =

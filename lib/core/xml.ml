@@ -1,15 +1,81 @@
+(* Position-tracking XML subset parser and MSCCL-IR serializer.
+
+   Every parsed element and attribute carries its 1-based line:col source
+   position, and every parse failure raises a structured {!Parse_error}
+   carrying the message, the file label, the position and the stack of
+   open elements rendered "<tag> at FILE:LINE:COL" — the ingestion layer
+   (lib/interop) and the golden bad-XML corpus depend on those positions
+   being exact. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
 type tree = {
   tag : string;
   attrs : (string * string) list;
   children : tree list;
+  t_pos : pos;
+  t_attr_pos : (string * pos) list;
 }
 
-exception Parse_error of string
+(* Synthesized nodes (the IR printer) carry no source position. *)
+let el tag attrs children = { tag; attrs; children; t_pos = no_pos; t_attr_pos = [] }
 
-let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let attr_pos t k =
+  match List.assoc_opt k t.t_attr_pos with Some p -> p | None -> t.t_pos
+
+type error = {
+  e_message : string;
+  e_file : string;
+  e_pos : pos;
+  e_context : string list;
+}
+
+exception Parse_error of error
+
+let frame ~file tag p =
+  if p = no_pos then Printf.sprintf "<%s>" tag
+  else Printf.sprintf "<%s> at %s:%d:%d" tag file p.line p.col
+
+let error_to_string e =
+  let b = Buffer.create 128 in
+  if e.e_pos = no_pos then
+    Buffer.add_string b (Printf.sprintf "%s: %s" e.e_file e.e_message)
+  else
+    Buffer.add_string b
+      (Printf.sprintf "%s:%d:%d: %s" e.e_file e.e_pos.line e.e_pos.col
+         e.e_message);
+  List.iter (fun c -> Buffer.add_string b ("\n  in " ^ c)) e.e_context;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let error_json e =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\",\"context\":[%s]}"
+    (json_escape e.e_file) e.e_pos.line e.e_pos.col (json_escape e.e_message)
+    (String.concat ","
+       (List.map (fun c -> "\"" ^ json_escape c ^ "\"") e.e_context))
 
 (* ------------------------------------------------------------------ *)
-(* Generic XML subset                                                  *)
+(* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let escape s =
@@ -36,19 +102,63 @@ let rec print_tree fmt t =
       List.iter (fun c -> Format.fprintf fmt "@,%a" print_tree c) cs;
       Format.fprintf fmt "@]@,</%s>" t.tag
 
-type cursor = { src : string; mutable pos : int }
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable stack : (string * pos) list;  (* open elements, innermost first *)
+}
+
+let cursor ?(file = "<string>") src =
+  { src; file; pos = 0; line = 1; col = 1; stack = [] }
+
+let cur_pos c = { line = c.line; col = c.col }
+
+let context_of c = List.map (fun (tag, p) -> frame ~file:c.file tag p) c.stack
+
+let raise_at c ?context p fmt =
+  let context = match context with Some x -> x | None -> context_of c in
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Parse_error
+           { e_message = m; e_file = c.file; e_pos = p; e_context = context }))
+    fmt
+
+let fail c fmt = raise_at c (cur_pos c) fmt
 
 let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
 
-let advance c = c.pos <- c.pos + 1
+let advance c =
+  (if c.pos < String.length c.src then
+     if c.src.[c.pos] = '\n' then begin
+       c.line <- c.line + 1;
+       c.col <- 1
+     end
+     else c.col <- c.col + 1);
+  c.pos <- c.pos + 1
+
+let advance_n c n =
+  for _ = 1 to n do
+    advance c
+  done
 
 let looking_at c s =
   let n = String.length s in
   c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
 
 let expect c s =
-  if looking_at c s then c.pos <- c.pos + String.length s
-  else fail "expected %S at offset %d" s c.pos
+  if looking_at c s then advance_n c (String.length s)
+  else
+    match peek c with
+    | None -> fail c "expected %S but reached end of input" s
+    | Some ch -> fail c "expected %S, found %C" s ch
 
 let is_name_char ch =
   (ch >= 'a' && ch <= 'z')
@@ -56,17 +166,22 @@ let is_name_char ch =
   || (ch >= '0' && ch <= '9')
   || ch = '_' || ch = '-' || ch = ':' || ch = '.'
 
-let rec skip_ws_and_comments c =
-  (match peek c with
+let rec skip_ws c =
+  match peek c with
   | Some (' ' | '\t' | '\n' | '\r') ->
       advance c;
-      skip_ws_and_comments c
-  | Some _ | None -> ());
+      skip_ws c
+  | Some _ | None -> ()
+
+let rec skip_ws_and_comments c =
+  skip_ws c;
   if looking_at c "<!--" then begin
-    c.pos <- c.pos + 4;
+    let open_pos = cur_pos c in
+    advance_n c 4;
     let rec close () =
-      if c.pos >= String.length c.src then fail "unterminated comment"
-      else if looking_at c "-->" then c.pos <- c.pos + 3
+      if c.pos >= String.length c.src then
+        raise_at c open_pos "unterminated comment (opened here)"
+      else if looking_at c "-->" then advance_n c 3
       else begin
         advance c;
         close ()
@@ -86,103 +201,208 @@ let read_name c =
     | Some _ | None -> ()
   in
   go ();
-  if c.pos = start then fail "expected a name at offset %d" c.pos;
+  if c.pos = start then begin
+    match peek c with
+    | None -> fail c "expected a name but reached end of input"
+    | Some ch -> fail c "expected a name, found %C" ch
+  end;
   String.sub c.src start (c.pos - start)
 
-let unescape s =
-  let b = Buffer.create (String.length s) in
-  let n = String.length s in
-  let rec go i =
-    if i < n then
-      if s.[i] = '&' then begin
-        let rest = String.sub s i (min 6 (n - i)) in
-        let entity, len =
-          if String.length rest >= 5 && String.sub rest 0 5 = "&amp;" then
-            ("&", 5)
-          else if String.length rest >= 4 && String.sub rest 0 4 = "&lt;" then
-            ("<", 4)
-          else if String.length rest >= 4 && String.sub rest 0 4 = "&gt;" then
-            (">", 4)
-          else if String.length rest >= 6 && String.sub rest 0 6 = "&quot;"
-          then ("\"", 6)
-          else if String.length rest >= 6 && String.sub rest 0 6 = "&apos;"
-          then ("'", 6)
-          else fail "unknown entity at offset %d" i
-        in
-        Buffer.add_string b entity;
-        go (i + len)
-      end
-      else begin
-        Buffer.add_char b s.[i];
-        go (i + 1)
-      end
-  in
-  go 0;
-  Buffer.contents b
+(* ------------------------------------------------------------------ *)
+(* Entities                                                            *)
+(* ------------------------------------------------------------------ *)
 
-let read_attr_value c =
-  expect c "\"";
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_hex ch =
+  is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F')
+
+(* Decodes the entity whose '&' sits under the cursor. *)
+let read_entity c b =
+  let amp_pos = cur_pos c in
+  advance c;
   let start = c.pos in
+  let rec scan n =
+    if n > 12 then
+      raise_at c amp_pos "malformed entity: no ';' within 12 characters of '&'"
+    else
+      match peek c with
+      | None -> raise_at c amp_pos "malformed entity: unterminated reference"
+      | Some ';' ->
+          let name = String.sub c.src start (c.pos - start) in
+          advance c;
+          name
+      | Some _ ->
+          advance c;
+          scan (n + 1)
+  in
+  let name = scan 0 in
+  match name with
+  | "amp" -> Buffer.add_char b '&'
+  | "lt" -> Buffer.add_char b '<'
+  | "gt" -> Buffer.add_char b '>'
+  | "quot" -> Buffer.add_char b '"'
+  | "apos" -> Buffer.add_char b '\''
+  | "" -> raise_at c amp_pos "malformed entity: empty reference '&;'"
+  | _ when name.[0] = '#' ->
+      let digits = String.sub name 1 (String.length name - 1) in
+      let code =
+        if
+          String.length digits >= 2
+          && (digits.[0] = 'x' || digits.[0] = 'X')
+          && String.for_all is_hex
+               (String.sub digits 1 (String.length digits - 1))
+        then
+          int_of_string_opt
+            ("0x" ^ String.sub digits 1 (String.length digits - 1))
+        else if String.length digits >= 1 && String.for_all is_digit digits
+        then int_of_string_opt digits
+        else None
+      in
+      (match code with
+      | Some cp when cp >= 1 && cp <= 0x10FFFF -> add_utf8 b cp
+      | Some cp -> raise_at c amp_pos
+          "numeric character reference '&%s;' is out of range (%d)" name cp
+      | None ->
+          raise_at c amp_pos "malformed numeric character reference '&%s;'"
+            name)
+  | _ -> raise_at c amp_pos "unknown entity '&%s;'" name
+
+(* Decodes entity references until [stop] (or end of input when [stop] is
+   [None], the bare-fragment mode {!unescape} uses). *)
+let scan_value ?stop ?open_pos c =
+  let b = Buffer.create 16 in
   let rec go () =
-    match peek c with
-    | Some '"' -> ()
-    | Some _ ->
+    match (peek c, stop) with
+    | None, None -> ()
+    | None, Some _ ->
+        let p = match open_pos with Some p -> p | None -> cur_pos c in
+        raise_at c p "unterminated attribute value (quote opened here)"
+    | Some ch, Some stop when ch = stop -> advance c
+    | Some '&', _ ->
+        read_entity c b;
+        go ()
+    | Some ch, _ ->
+        Buffer.add_char b ch;
         advance c;
         go ()
-    | None -> fail "unterminated attribute value"
   in
   go ();
-  let raw = String.sub c.src start (c.pos - start) in
-  advance c;
-  unescape raw
+  Buffer.contents b
+
+let unescape s = scan_value (cursor ~file:"<fragment>" s)
+
+let read_attr_value c =
+  let open_pos = cur_pos c in
+  expect c "\"";
+  scan_value ~stop:'"' ~open_pos c
+
+(* ------------------------------------------------------------------ *)
+(* Elements                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let rec parse_element c =
   skip_ws_and_comments c;
+  let start_pos = cur_pos c in
+  (match peek c with
+  | Some '<' when not (looking_at c "</") -> ()
+  | Some '<' -> fail c "unexpected closing tag"
+  | Some ch -> fail c "expected an element, found %C (text content is not supported)" ch
+  | None -> fail c "expected an element but reached end of input");
   expect c "<";
   let tag = read_name c in
+  c.stack <- (tag, start_pos) :: c.stack;
   let rec attrs acc =
-    skip_ws_and_comments c;
+    skip_ws c;
     match peek c with
     | Some '/' | Some '>' -> List.rev acc
-    | Some _ ->
+    | Some ch when is_name_char ch ->
+        let k_pos = cur_pos c in
         let k = read_name c in
-        skip_ws_and_comments c;
+        (match List.find_opt (fun (k', _, _) -> String.equal k' k) acc with
+        | Some (_, _, (first : pos)) ->
+            raise_at c k_pos
+              "duplicate attribute %s on <%s> (first occurrence at %s:%d:%d)"
+              k tag c.file first.line first.col
+        | None -> ());
+        skip_ws c;
         expect c "=";
-        skip_ws_and_comments c;
+        skip_ws c;
         let v = read_attr_value c in
-        attrs ((k, v) :: acc)
-    | None -> fail "unterminated element <%s>" tag
+        attrs ((k, v, k_pos) :: acc)
+    | Some ch ->
+        fail c "unexpected %C in <%s> (expected an attribute name, '>' or '/>')"
+          ch tag
+    | None ->
+        raise_at c start_pos "unterminated element <%s> (opened here)" tag
   in
   let attrs = attrs [] in
-  skip_ws_and_comments c;
+  skip_ws c;
+  let finish children =
+    c.stack <- List.tl c.stack;
+    {
+      tag;
+      attrs = List.map (fun (k, v, _) -> (k, v)) attrs;
+      children;
+      t_pos = start_pos;
+      t_attr_pos = List.map (fun (k, _, p) -> (k, p)) attrs;
+    }
+  in
   if looking_at c "/>" then begin
-    c.pos <- c.pos + 2;
-    { tag; attrs; children = [] }
+    advance_n c 2;
+    finish []
   end
   else begin
     expect c ">";
     let rec children acc =
       skip_ws_and_comments c;
       if looking_at c "</" then begin
-        c.pos <- c.pos + 2;
+        let close_pos = cur_pos c in
+        advance_n c 2;
         let close = read_name c in
-        if close <> tag then fail "mismatched </%s> for <%s>" close tag;
-        skip_ws_and_comments c;
+        if not (String.equal close tag) then
+          raise_at c close_pos
+            "mismatched closing tag </%s> for <%s> (opened at %s:%d:%d)" close
+            tag c.file start_pos.line start_pos.col;
+        skip_ws c;
         expect c ">";
         List.rev acc
       end
+      else if peek c = None then
+        raise_at c start_pos "unterminated element <%s> (opened here)" tag
       else children (parse_element c :: acc)
     in
-    { tag; attrs; children = children [] }
+    finish (children [])
   end
 
-let parse_tree s =
-  let c = { src = s; pos = 0 } in
+let parse_tree ?file s =
+  let c = cursor ?file s in
+  if looking_at c "\xef\xbb\xbf" then advance_n c 3;
   skip_ws_and_comments c;
   if looking_at c "<?" then begin
+    let open_pos = cur_pos c in
     let rec close () =
-      if c.pos >= String.length c.src then fail "unterminated declaration"
-      else if looking_at c "?>" then c.pos <- c.pos + 2
+      if c.pos >= String.length c.src then
+        raise_at c open_pos "unterminated XML declaration (opened here)"
+      else if looking_at c "?>" then advance_n c 2
       else begin
         advance c;
         close ()
@@ -192,21 +412,14 @@ let parse_tree s =
   end;
   let t = parse_element c in
   skip_ws_and_comments c;
+  (match peek c with
+  | None -> ()
+  | Some ch -> fail c "trailing content after the root element (found %C)" ch);
   t
 
 (* ------------------------------------------------------------------ *)
-(* IR <-> tree                                                         *)
+(* IR -> tree                                                          *)
 (* ------------------------------------------------------------------ *)
-
-let attr t k =
-  match List.assoc_opt k t.attrs with
-  | Some v -> v
-  | None -> fail "<%s> missing attribute %s" t.tag k
-
-let int_attr t k =
-  match int_of_string_opt (attr t k) with
-  | Some v -> v
-  | None -> fail "<%s> attribute %s is not an integer" t.tag k
 
 let ids_attr prefix ids =
   (prefix, String.concat "," (List.map string_of_int ids))
@@ -225,45 +438,36 @@ let step_to_tree (st : Ir.step) =
     | [] -> ([ -1 ], [ -1 ])
     | ds -> (List.map fst ds, List.map snd ds)
   in
-  {
-    tag = "step";
-    attrs =
-      [ ("s", string_of_int st.Ir.s); ("type", Instr.opcode_name st.Ir.op) ]
-      @ loc_attrs "src" st.Ir.src @ loc_attrs "dst" st.Ir.dst
-      @ [
-          ("cnt", string_of_int st.Ir.count);
-          ids_attr "depid" depid;
-          ids_attr "deps" deps;
-          ("hasdep", if st.Ir.has_dep then "1" else "0");
-        ];
-    children = [];
-  }
+  el "step"
+    ([ ("s", string_of_int st.Ir.s); ("type", Instr.opcode_name st.Ir.op) ]
+    @ loc_attrs "src" st.Ir.src @ loc_attrs "dst" st.Ir.dst
+    @ [
+        ("cnt", string_of_int st.Ir.count);
+        ids_attr "depid" depid;
+        ids_attr "deps" deps;
+        ("hasdep", if st.Ir.has_dep then "1" else "0");
+      ])
+    []
 
 let tb_to_tree (tb : Ir.tb) =
-  {
-    tag = "tb";
-    attrs =
-      [
-        ("id", string_of_int tb.Ir.tb_id);
-        ("send", string_of_int tb.Ir.send);
-        ("recv", string_of_int tb.Ir.recv);
-        ("chan", string_of_int tb.Ir.chan);
-      ];
-    children = Array.to_list (Array.map step_to_tree tb.Ir.steps);
-  }
+  el "tb"
+    [
+      ("id", string_of_int tb.Ir.tb_id);
+      ("send", string_of_int tb.Ir.send);
+      ("recv", string_of_int tb.Ir.recv);
+      ("chan", string_of_int tb.Ir.chan);
+    ]
+    (Array.to_list (Array.map step_to_tree tb.Ir.steps))
 
 let gpu_to_tree (g : Ir.gpu) =
-  {
-    tag = "gpu";
-    attrs =
-      [
-        ("id", string_of_int g.Ir.gpu_id);
-        ("i_chunks", string_of_int g.Ir.input_chunks);
-        ("o_chunks", string_of_int g.Ir.output_chunks);
-        ("s_chunks", string_of_int g.Ir.scratch_chunks);
-      ];
-    children = Array.to_list (Array.map tb_to_tree g.Ir.tbs);
-  }
+  el "gpu"
+    [
+      ("id", string_of_int g.Ir.gpu_id);
+      ("i_chunks", string_of_int g.Ir.input_chunks);
+      ("o_chunks", string_of_int g.Ir.output_chunks);
+      ("s_chunks", string_of_int g.Ir.scratch_chunks);
+    ]
+    (Array.to_list (Array.map tb_to_tree g.Ir.tbs))
 
 let to_tree (ir : Ir.t) =
   let coll = ir.Ir.collective in
@@ -283,103 +487,155 @@ let to_tree (ir : Ir.t) =
     | Collective.Alltoall | Collective.Alltonext ->
         [ ("coll", Collective.name coll) ]
   in
-  {
-    tag = "algo";
-    attrs =
-      [
-        ("name", ir.Ir.name);
-        ("proto", Msccl_topology.Protocol.name ir.Ir.proto);
-        ("nranks", string_of_int coll.Collective.num_ranks);
-        ("chunk_factor", string_of_int coll.Collective.chunk_factor);
-        ("inplace", if coll.Collective.inplace then "1" else "0");
-      ]
-      @ coll_attrs;
-    children = Array.to_list (Array.map gpu_to_tree ir.Ir.gpus);
-  }
+  el "algo"
+    ([
+       ("name", ir.Ir.name);
+       ("proto", Msccl_topology.Protocol.name ir.Ir.proto);
+       ("nranks", string_of_int coll.Collective.num_ranks);
+       ("chunk_factor", string_of_int coll.Collective.chunk_factor);
+       ("inplace", if coll.Collective.inplace then "1" else "0");
+     ]
+    @ coll_attrs)
+    (Array.to_list (Array.map gpu_to_tree ir.Ir.gpus))
 
-let ids_of_attr t k =
-  attr t k |> String.split_on_char ','
+(* ------------------------------------------------------------------ *)
+(* tree -> IR (strict: first error wins, but positioned)               *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { c_file : string; c_parents : tree list (* innermost first *) }
+
+let fail_in ctx p fmt =
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Parse_error
+           {
+             e_message = m;
+             e_file = ctx.c_file;
+             e_pos = p;
+             e_context =
+               List.map
+                 (fun t -> frame ~file:ctx.c_file t.tag t.t_pos)
+                 ctx.c_parents;
+           }))
+    fmt
+
+let fail_t ctx t fmt = fail_in ctx t.t_pos fmt
+
+let push ctx t = { ctx with c_parents = t :: ctx.c_parents }
+
+let attr ctx t k =
+  match List.assoc_opt k t.attrs with
+  | Some v -> v
+  | None -> fail_t ctx t "<%s> is missing the required attribute %s" t.tag k
+
+let int_attr ctx t k =
+  let v = attr ctx t k in
+  match int_of_string_opt v with
+  | Some n -> n
+  | None ->
+      fail_in ctx (attr_pos t k) "<%s> attribute %s: %S is not an integer"
+        t.tag k v
+
+let ids_of_attr ctx t k =
+  attr ctx t k |> String.split_on_char ','
   |> List.map (fun s ->
          match int_of_string_opt (String.trim s) with
          | Some v -> v
-         | None -> fail "<%s> attribute %s: bad id list" t.tag k)
+         | None ->
+             fail_in ctx (attr_pos t k)
+               "<%s> attribute %s: bad id list %S" t.tag k (attr ctx t k))
 
-let loc_of_attrs t prefix ~rank ~count =
-  match attr t (prefix ^ "buf") with
+let loc_of_attrs ctx t prefix ~rank ~count =
+  match attr ctx t (prefix ^ "buf") with
   | "n" -> None
   | b -> (
       match Buffer_id.of_name b with
-      | None -> fail "<%s> unknown buffer %S" t.tag b
+      | None ->
+          fail_in ctx (attr_pos t (prefix ^ "buf"))
+            "<%s> references unknown buffer %S" t.tag b
       | Some buf ->
-          Some (Loc.make ~rank ~buf ~index:(int_attr t (prefix ^ "off")) ~count))
+          let index = int_attr ctx t (prefix ^ "off") in
+          if index < 0 then
+            fail_in ctx (attr_pos t (prefix ^ "off"))
+              "<%s> attribute %soff: negative offset %d" t.tag prefix index;
+          Some (Loc.make ~rank ~buf ~index ~count))
 
-let step_of_tree ~rank t =
-  if t.tag <> "step" then fail "expected <step>, got <%s>" t.tag;
+let step_of_tree ctx ~rank t =
+  if t.tag <> "step" then fail_t ctx t "expected <step>, got <%s>" t.tag;
   let op =
-    match Instr.opcode_of_name (attr t "type") with
+    match Instr.opcode_of_name (attr ctx t "type") with
     | Some op -> op
-    | None -> fail "unknown opcode %S" (attr t "type")
+    | None ->
+        fail_in ctx (attr_pos t "type") "<step> has unknown opcode %S"
+          (attr ctx t "type")
   in
-  let count = int_attr t "cnt" in
+  let count = int_attr ctx t "cnt" in
+  if count <= 0 then
+    fail_in ctx (attr_pos t "cnt") "<step> attribute cnt: nonpositive count %d"
+      count;
   let depends =
-    match (ids_of_attr t "depid", ids_of_attr t "deps") with
+    match (ids_of_attr ctx t "depid", ids_of_attr ctx t "deps") with
     | [ -1 ], [ -1 ] -> []
     | tbs, steps when List.length tbs = List.length steps ->
         List.combine tbs steps
-    | _ -> fail "<step> depid/deps length mismatch"
+    | _ -> fail_in ctx (attr_pos t "deps") "<step> depid/deps length mismatch"
   in
   {
-    Ir.s = int_attr t "s";
+    Ir.s = int_attr ctx t "s";
     op;
-    src = loc_of_attrs t "src" ~rank ~count;
-    dst = loc_of_attrs t "dst" ~rank ~count;
+    src = loc_of_attrs ctx t "src" ~rank ~count;
+    dst = loc_of_attrs ctx t "dst" ~rank ~count;
     count;
     depends;
-    has_dep = attr t "hasdep" = "1";
+    has_dep = attr ctx t "hasdep" = "1";
   }
 
-let tb_of_tree ~rank t =
-  if t.tag <> "tb" then fail "expected <tb>, got <%s>" t.tag;
+let tb_of_tree ctx ~rank t =
+  if t.tag <> "tb" then fail_t ctx t "expected <tb>, got <%s>" t.tag;
   {
-    Ir.tb_id = int_attr t "id";
-    send = int_attr t "send";
-    recv = int_attr t "recv";
-    chan = int_attr t "chan";
-    steps = Array.of_list (List.map (step_of_tree ~rank) t.children);
+    Ir.tb_id = int_attr ctx t "id";
+    send = int_attr ctx t "send";
+    recv = int_attr ctx t "recv";
+    chan = int_attr ctx t "chan";
+    steps =
+      Array.of_list (List.map (step_of_tree (push ctx t) ~rank) t.children);
   }
 
-let gpu_of_tree t =
-  if t.tag <> "gpu" then fail "expected <gpu>, got <%s>" t.tag;
-  let rank = int_attr t "id" in
+let gpu_of_tree ctx t =
+  if t.tag <> "gpu" then fail_t ctx t "expected <gpu>, got <%s>" t.tag;
+  let rank = int_attr ctx t "id" in
   {
     Ir.gpu_id = rank;
-    input_chunks = int_attr t "i_chunks";
-    output_chunks = int_attr t "o_chunks";
-    scratch_chunks = int_attr t "s_chunks";
-    tbs = Array.of_list (List.map (tb_of_tree ~rank) t.children);
+    input_chunks = int_attr ctx t "i_chunks";
+    output_chunks = int_attr ctx t "o_chunks";
+    scratch_chunks = int_attr ctx t "s_chunks";
+    tbs = Array.of_list (List.map (tb_of_tree (push ctx t) ~rank) t.children);
   }
 
-let of_tree t =
-  if t.tag <> "algo" then fail "expected <algo>, got <%s>" t.tag;
-  let num_ranks = int_attr t "nranks" in
-  let chunk_factor = int_attr t "chunk_factor" in
-  let inplace = attr t "inplace" = "1" in
+let of_tree ?(file = "<string>") t =
+  let ctx = { c_file = file; c_parents = [] } in
+  if t.tag <> "algo" then fail_t ctx t "expected <algo> root, got <%s>" t.tag;
+  let num_ranks = int_attr ctx t "nranks" in
+  let chunk_factor = int_attr ctx t "chunk_factor" in
+  let inplace = attr ctx t "inplace" = "1" in
   let kind =
-    match attr t "coll" with
+    match attr ctx t "coll" with
     | "custom" ->
         Collective.Custom
           {
-            Collective.custom_name = attr t "cname";
-            input_chunks = int_attr t "in_chunks";
-            output_chunks = int_attr t "out_chunks";
+            Collective.custom_name = attr ctx t "cname";
+            input_chunks = int_attr ctx t "in_chunks";
+            output_chunks = int_attr ctx t "out_chunks";
             expected = (fun ~rank:_ ~index:_ -> None);
             initial = None;
           }
     | name -> (
         match Collective.kind_of_name name with
-        | None -> fail "unknown collective %S" name
+        | None ->
+            fail_in ctx (attr_pos t "coll") "unknown collective %S" name
         | Some k -> (
-            let root () = int_attr t "root" in
+            let root () = int_attr ctx t "root" in
             match k with
             | Collective.Broadcast _ -> Collective.Broadcast (root ())
             | Collective.Reduce _ -> Collective.Reduce (root ())
@@ -394,25 +650,32 @@ let of_tree t =
     match kind with Collective.Custom _ -> 1 | _ -> chunk_factor
   in
   let proto =
-    match Msccl_topology.Protocol.of_string (attr t "proto") with
+    match Msccl_topology.Protocol.of_string (attr ctx t "proto") with
     | Some p -> p
-    | None -> fail "unknown protocol %S" (attr t "proto")
+    | None ->
+        fail_in ctx (attr_pos t "proto") "unknown protocol %S"
+          (attr ctx t "proto")
+  in
+  let collective =
+    try Collective.make kind ~num_ranks ~chunk_factor ~inplace ()
+    with Invalid_argument m -> fail_t ctx t "invalid collective: %s" m
   in
   let ir =
     {
-      Ir.name = attr t "name";
-      collective = Collective.make kind ~num_ranks ~chunk_factor ~inplace ();
+      Ir.name = attr ctx t "name";
+      collective;
       proto;
-      gpus = Array.of_list (List.map gpu_of_tree t.children);
+      gpus = Array.of_list (List.map (gpu_of_tree (push ctx t)) t.children);
     }
   in
-  Ir.validate ir;
+  (try Ir.validate ir
+   with Invalid_argument m -> fail_t ctx t "invalid program: %s" m);
   ir
 
 let to_string ir =
   Format.asprintf "<?xml version=\"1.0\"?>@.%a@." print_tree (to_tree ir)
 
-let of_string s = of_tree (parse_tree s)
+let of_string ?file s = of_tree ?file (parse_tree ?file s)
 
 let save ir path =
   let oc = open_out path in
@@ -426,4 +689,4 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      of_string (really_input_string ic n))
+      of_string ~file:path (really_input_string ic n))

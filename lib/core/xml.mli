@@ -1,4 +1,4 @@
-(** MSCCL-IR XML serialization.
+(** MSCCL-IR XML serialization with position-tracking parsing.
 
     The on-disk format follows the spirit of msccl's algorithm XML files:
     an [<algo>] root with per-GPU [<gpu>] elements containing [<tb>] thread
@@ -8,35 +8,94 @@
     collectives get a vacuous postcondition (shape-only) — built-in
     collectives round-trip exactly.
 
+    The parser is the repo's hostile-input boundary: every element and
+    attribute carries its 1-based [line:col] source position, and every
+    failure raises a structured {!Parse_error} with the message, a file
+    label, the exact position and the stack of open elements rendered
+    ["<tag> at FILE:LINE:COL"] (the 0install [qdom] style). Attribute
+    values decode the five named entities plus numeric character
+    references ([&#NN;], [&#xNN;]); malformed or unknown entities and
+    duplicate attributes are rejected with their source position.
+
     A small generic XML subset (elements, attributes, comments, no text
-    nodes) is exposed for reuse and testing. *)
+    nodes) is exposed for reuse; the tolerant, diagnostics-collecting
+    decoder for third-party msccl-tools files lives in
+    [Msccl_interop.Ingest] on top of {!parse_tree}. *)
+
+type pos = { line : int; col : int }
+(** 1-based source position. {!no_pos} ([0:0]) marks synthesized nodes. *)
+
+val no_pos : pos
+
+val pp_pos : Format.formatter -> pos -> unit
 
 type tree = {
   tag : string;
-  attrs : (string * string) list;
+  attrs : (string * string) list;  (** decoded values, in document order *)
   children : tree list;
+  t_pos : pos;  (** position of the opening ['<'] *)
+  t_attr_pos : (string * pos) list;  (** source position of each attribute *)
 }
 
-exception Parse_error of string
+val el : string -> (string * string) list -> tree list -> tree
+(** Synthesized node carrying {!no_pos} (what {!to_tree} builds). *)
 
-val parse_tree : string -> tree
-(** Parses one element (after an optional declaration and comments).
-    Raises {!Parse_error} with position information. *)
+val attr_pos : tree -> string -> pos
+(** Position of a named attribute, falling back to the element's. *)
+
+type error = {
+  e_message : string;
+  e_file : string;  (** ["<string>"] when parsed from memory *)
+  e_pos : pos;
+  e_context : string list;
+      (** Enclosing elements, innermost first, each rendered
+          ["<tag> at FILE:LINE:COL"]. *)
+}
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+(** ["FILE:LINE:COL: message"] followed by one ["  in <tag> at ..."] line
+    per context frame. *)
+
+val error_json : error -> string
+(** One JSON object: [{"file", "line", "col", "message", "context"}]. *)
+
+val frame : file:string -> string -> pos -> string
+(** ["<tag> at file:line:col"] (or ["<tag>"] at {!no_pos}). *)
+
+val json_escape : string -> string
+
+val parse_tree : ?file:string -> string -> tree
+(** Parses one element (after an optional BOM, declaration and comments)
+    and demands end-of-input after it. Raises {!Parse_error} with the
+    exact position on failure. *)
 
 val print_tree : Format.formatter -> tree -> unit
 (** Pretty-prints with 2-space indentation and escaped attributes. *)
 
+val escape : string -> string
+
+val unescape : string -> string
+(** Decodes entity references in a bare fragment ([&amp;], [&lt;], [&gt;],
+    [&quot;], [&apos;], [&#NN;], [&#xNN;]); raises {!Parse_error}
+    positioned inside the fragment on malformed or unknown entities. *)
+
 val to_tree : Ir.t -> tree
 
-val of_tree : tree -> Ir.t
-(** Raises {!Parse_error} on missing/ill-typed attributes; the result is
-    validated with {!Ir.validate}. *)
+val of_tree : ?file:string -> tree -> Ir.t
+(** Strict decoding of the repo's own dialect: raises {!Parse_error} on
+    missing/ill-typed attributes, positioned at the offending element or
+    attribute with the ancestor context; the result is validated with
+    {!Ir.validate} (violations are re-raised as positioned
+    {!Parse_error}s). *)
 
 val to_string : Ir.t -> string
 
-val of_string : string -> Ir.t
+val of_string : ?file:string -> string -> Ir.t
 
 val save : Ir.t -> string -> unit
 (** [save ir path] writes the XML file. *)
 
 val load : string -> Ir.t
+(** Raises {!Parse_error} with [e_file = path] on malformed input. *)

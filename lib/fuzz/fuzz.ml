@@ -165,3 +165,159 @@ let report_json r =
     r.r_failures;
   Buffer.add_string b "]}";
   Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Imported-corpus mode: hostile-input checks over external XML        *)
+(* ------------------------------------------------------------------ *)
+
+type corpus_outcome =
+  | C_accepted of { c_warnings : int }
+  | C_rejected of { c_errors : int; c_first : string }
+  | C_failed of string
+
+type corpus_entry = {
+  ce_path : string;
+  ce_outcome : corpus_outcome;
+}
+
+type corpus_report = {
+  cr_dir : string;
+  cr_seed : int;
+  cr_mangles : int;
+  cr_entries : corpus_entry list;
+}
+
+let corpus_ok r =
+  List.for_all
+    (fun e -> match e.ce_outcome with C_failed _ -> false | _ -> true)
+    r.cr_entries
+
+(* A rejection is only acceptable when it is structured: at least one
+   error-severity diagnostic, every one positioned (io errors excepted). *)
+let check_rejection ds =
+  let module I = Msccl_interop.Ingest in
+  match I.errors ds with
+  | [] -> Error "rejected with no error-severity diagnostics"
+  | errs -> (
+      match
+        List.find_opt
+          (fun d ->
+            d.I.d_rule <> "io" && d.I.d_pos.Msccl_core.Xml.line < 1)
+          errs
+      with
+      | Some d ->
+          Error
+            (Printf.sprintf "rejection without a position: %s"
+               (I.diag_to_string d))
+      | None -> Ok errs)
+
+let corpus_check_file ~seed ~mangles path =
+  let module I = Msccl_interop.Ingest in
+  let module M = Msccl_interop.Mangle in
+  let module X = Msccl_core.Xml in
+  let outcome =
+    match I.load path with
+    | exception e ->
+        C_failed
+          (Printf.sprintf "unstructured exception escaped ingestion: %s"
+             (Printexc.to_string e))
+    | Error ds -> (
+        match check_rejection ds with
+        | Error m -> C_failed m
+        | Ok errs ->
+            C_rejected
+              {
+                c_errors = List.length errs;
+                c_first = I.diag_to_string (List.hd errs);
+              })
+    | Ok (ir, ws) -> (
+        (* Accepted: must round-trip, and seeded corruptions of the
+           document must be handled structurally. *)
+        let doc = X.to_string ir in
+        match I.of_string ~file:path doc with
+        | exception e ->
+            C_failed
+              (Printf.sprintf "re-ingesting the accepted print raised: %s"
+                 (Printexc.to_string e))
+        | Error ds ->
+            C_failed
+              (Printf.sprintf "accepted file's print was rejected: %s"
+                 (match I.errors ds with
+                 | d :: _ -> I.diag_to_string d
+                 | [] -> "(no diagnostics)"))
+        | Ok (ir2, _) when not (Msccl_core.Ir.equal ir ir2) ->
+            C_failed "accepted file does not round-trip through print"
+        | Ok _ -> (
+            let rec sweep i =
+              if i >= mangles then None
+              else
+                let mangled, what = M.mangle ~seed ~index:i doc in
+                let tag = Printf.sprintf "mangle %d (%s)" i what in
+                match I.of_string ~file:path mangled with
+                | exception e ->
+                    Some
+                      (Printf.sprintf
+                         "%s: unstructured exception escaped: %s" tag
+                         (Printexc.to_string e))
+                | Error ds -> (
+                    match check_rejection ds with
+                    | Error m -> Some (Printf.sprintf "%s: %s" tag m)
+                    | Ok _ -> sweep (i + 1))
+                | Ok (ir', _) -> (
+                    match I.of_string ~file:path (X.to_string ir') with
+                    | Ok (ir2, _) when Msccl_core.Ir.equal ir' ir2 ->
+                        sweep (i + 1)
+                    | Ok _ ->
+                        Some
+                          (Printf.sprintf
+                             "%s: accepted repair does not round-trip" tag)
+                    | Error _ ->
+                        Some
+                          (Printf.sprintf
+                             "%s: accepted repair rejected on reprint" tag)
+                    | exception e ->
+                        Some
+                          (Printf.sprintf "%s: reprint raised: %s" tag
+                             (Printexc.to_string e)))
+            in
+            match sweep 0 with
+            | Some m -> C_failed m
+            | None -> C_accepted { c_warnings = List.length ws }))
+  in
+  { ce_path = path; ce_outcome = outcome }
+
+let run_corpus ?jobs ?(mangles = 8) ~seed ~dir () =
+  let files =
+    match Sys.readdir dir with
+    | entries ->
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".xml")
+        |> List.sort compare
+        |> List.map (Filename.concat dir)
+    | exception Sys_error _ -> []
+  in
+  let entries =
+    Msccl_parallel.Pool.map ?jobs (corpus_check_file ~seed ~mangles) files
+  in
+  { cr_dir = dir; cr_seed = seed; cr_mangles = mangles; cr_entries = entries }
+
+let corpus_report_json r =
+  let esc = Msccl_core.Lint.json_escape in
+  let entry e =
+    let status, detail =
+      match e.ce_outcome with
+      | C_accepted { c_warnings } ->
+          ("accepted", Printf.sprintf "%d warning(s)" c_warnings)
+      | C_rejected { c_errors; c_first } ->
+          ("rejected", Printf.sprintf "%d error(s); first: %s" c_errors c_first)
+      | C_failed m -> ("failed", m)
+    in
+    Printf.sprintf
+      "{\"file\": \"%s\", \"status\": \"%s\", \"detail\": \"%s\"}"
+      (esc e.ce_path) status (esc detail)
+  in
+  Printf.sprintf
+    "{\"dir\": \"%s\", \"seed\": %d, \"mangles\": %d, \"ok\": %b, \
+     \"files\": [%s]}"
+    (esc r.cr_dir) r.cr_seed r.cr_mangles (corpus_ok r)
+    (String.concat ", " (List.map entry r.cr_entries))

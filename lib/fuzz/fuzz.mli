@@ -49,3 +49,42 @@ val replay : ?oracles:Oracle.id list -> Case.t -> (unit, Oracle.failure) result
 val report_json : report -> string
 (** One JSON object: seed, case count, oracle names, and per-failure
     records (index, oracle, detail, original and shrunk case texts). *)
+
+type corpus_outcome =
+  | C_accepted of { c_warnings : int }
+      (** Ingested cleanly and survived the hostile sweep. *)
+  | C_rejected of { c_errors : int; c_first : string }
+      (** Structurally rejected: every diagnostic positioned. *)
+  | C_failed of string
+      (** Invariant violation — an unstructured exception escaped, a
+          rejection lacked a position, or an accepted program failed to
+          round-trip. These are the fuzzer's findings. *)
+
+type corpus_entry = {
+  ce_path : string;
+  ce_outcome : corpus_outcome;
+}
+
+type corpus_report = {
+  cr_dir : string;
+  cr_seed : int;
+  cr_mangles : int;
+  cr_entries : corpus_entry list;  (** In path order. *)
+}
+
+val corpus_ok : corpus_report -> bool
+(** No [C_failed] entries. Accepted and rejected files are both fine —
+    a corpus of bad inputs is {e supposed} to be rejected. *)
+
+val run_corpus :
+  ?jobs:int -> ?mangles:int -> seed:int -> dir:string -> unit -> corpus_report
+(** Imported-corpus mode ([msccl fuzz --corpus DIR]): every [*.xml] file
+    under [dir] is pushed through {!Msccl_interop.Ingest} and must either
+    ingest cleanly — then also survive [mangles] seeded
+    {!Msccl_interop.Mangle} corruptions and round-trip through print —
+    or be rejected with positioned structured diagnostics. Files fan out
+    over {!Msccl_parallel.Pool}. *)
+
+val corpus_report_json : corpus_report -> string
+(** One JSON object: dir, seed, mangle count, overall ok, and a
+    per-file status/detail record. *)

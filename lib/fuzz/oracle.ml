@@ -10,6 +10,7 @@ type id =
   | Roundtrip
   | Chaos
   | Sym_compile
+  | Ingest
 
 let all =
   [
@@ -22,6 +23,7 @@ let all =
     Roundtrip;
     Chaos;
     Sym_compile;
+    Ingest;
   ]
 
 let id_name = function
@@ -34,6 +36,7 @@ let id_name = function
   | Roundtrip -> "roundtrip"
   | Chaos -> "chaos"
   | Sym_compile -> "sym_compile"
+  | Ingest -> "ingest"
 
 let id_of_name = function
   | "exec" -> Some Exec
@@ -45,6 +48,7 @@ let id_of_name = function
   | "roundtrip" -> Some Roundtrip
   | "chaos" -> Some Chaos
   | "sym_compile" -> Some Sym_compile
+  | "ingest" -> Some Ingest
   | _ -> None
 
 type failure = {
@@ -527,6 +531,77 @@ let check_roundtrip (ir : Ir.t) =
     else Ok ()
 
 (* ------------------------------------------------------------------ *)
+(* Ingest: external-dialect ingestion is total and structured          *)
+(* ------------------------------------------------------------------ *)
+
+let ingest_mangles_per_case = 8
+
+let check_ingest (c : Case.t) (ir : Ir.t) =
+  let module I = Msccl_interop.Ingest in
+  let module M = Msccl_interop.Mangle in
+  let doc = Xml.to_string ir in
+  let ( let* ) = Result.bind in
+  let* () =
+    match I.of_string ~file:"<compiled>" doc with
+    | Ok (ir', []) when Ir.equal ir ir' -> Ok ()
+    | Ok (_, []) -> fail Ingest "ingesting our own output changed the IR"
+    | Ok (_, ws) ->
+        fail Ingest "our own output drew %d ingest warning(s): %s"
+          (List.length ws)
+          (I.diag_to_string (List.hd ws))
+    | Error ds ->
+        fail Ingest "our own output was rejected: %s"
+          (match I.errors ds with
+          | d :: _ -> I.diag_to_string d
+          | [] -> "(no diagnostics)")
+    | exception e ->
+        fail Ingest "ingesting our own output raised: %s"
+          (Printexc.to_string e)
+  in
+  (* Hostile sweep: every corruption must either be accepted (and then
+     round-trip stably) or rejected with positioned structured
+     diagnostics. Unstructured exceptions never escape. *)
+  let rec sweep i =
+    if i >= ingest_mangles_per_case then Ok ()
+    else
+      let mangled, what =
+        M.mangle ~seed:c.Case.seed
+          ~index:((c.Case.index * ingest_mangles_per_case) + i)
+          doc
+      in
+      let tag = Printf.sprintf "mangle %d (%s)" i what in
+      match I.of_string ~file:"<mangled>" mangled with
+      | exception e ->
+          fail Ingest "%s: unstructured exception escaped ingestion: %s" tag
+            (Printexc.to_string e)
+      | Error [] -> fail Ingest "%s: rejected with no diagnostics" tag
+      | Error ds -> (
+          match
+            List.find_opt
+              (fun d -> d.I.d_severity = I.Error && d.I.d_pos.Xml.line < 1)
+              ds
+          with
+          | Some d ->
+              fail Ingest "%s: rejection without a position: %s" tag
+                (I.diag_to_string d)
+          | None -> sweep (i + 1))
+      | Ok (ir', _) -> (
+          let doc2 = Xml.to_string ir' in
+          match I.of_string ~file:"<reprint>" doc2 with
+          | Ok (ir2, _) when Ir.equal ir' ir2 -> sweep (i + 1)
+          | Ok _ -> fail Ingest "%s: accepted repair does not round-trip" tag
+          | Error ds ->
+              fail Ingest "%s: accepted repair rejected on reprint: %s" tag
+                (match I.errors ds with
+                | d :: _ -> I.diag_to_string d
+                | [] -> "(no diagnostics)")
+          | exception e ->
+              fail Ingest "%s: reprint ingestion raised: %s" tag
+                (Printexc.to_string e))
+  in
+  sweep 0
+
+(* ------------------------------------------------------------------ *)
 
 let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
   (* [mutate] models a fusion-pass bug: it only ever corrupts IR compiled
@@ -542,7 +617,7 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
     try f () with
     | Executor.Exec_error m -> fail oracle "executor: %s" m
     | Program.Trace_error m -> fail oracle "trace: %s" m
-    | Xml.Parse_error m -> fail oracle "xml: %s" m
+    | Xml.Parse_error e -> fail oracle "xml: %s" (Xml.error_to_string e)
     | Simulator.Sim_error m -> fail oracle "simulator: %s" m
     | Simulator.Hang h -> fail oracle "hang: %s" (Simulator.hang_message h)
     | Instances.Replication_error m -> fail oracle "replication: %s" m
@@ -561,7 +636,8 @@ let run ?(mutate = Fun.id) ?(oracles = all) (c : Case.t) =
         | Perf -> check_perf c (Lazy.force primary)
         | Roundtrip -> check_roundtrip (Lazy.force primary)
         | Chaos -> check_chaos c (Lazy.force primary)
-        | Sym_compile -> check_sym_compile c)
+        | Sym_compile -> check_sym_compile c
+        | Ingest -> check_ingest c (Lazy.force primary))
   in
   let rec go = function
     | [] -> Ok ()

@@ -52,16 +52,24 @@ type id =
           ({!Msccl_core.Simulator.run_sym}) must report exactly the
           scalar simulator's completion time, message count and wire
           bytes. *)
+  | Ingest
+      (** Hostile-input totality of the {!Msccl_interop.Ingest} boundary:
+          the case's own printed XML must ingest cleanly (no warnings)
+          back to an {!Msccl_core.Ir.equal} program, and a seeded sweep
+          of {!Msccl_interop.Mangle} corruptions of it must each either
+          be accepted — and then round-trip stably through print and
+          re-ingest — or be rejected with positioned structured
+          diagnostics. No unstructured exception may escape. *)
 
 val all : id list
 (** In checking order:
     [Exec; Equiv; Static; Symmetry; Provenance; Perf; Roundtrip; Chaos;
-    Sym_compile]. *)
+    Sym_compile; Ingest]. *)
 
 val id_name : id -> string
 (** Lower-case CLI name: ["exec"], ["equiv"], ["static"], ["symmetry"],
     ["provenance"], ["perf"], ["roundtrip"], ["chaos"],
-    ["sym_compile"]. *)
+    ["sym_compile"], ["ingest"]. *)
 
 val id_of_name : string -> id option
 

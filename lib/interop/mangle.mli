@@ -1,0 +1,22 @@
+(** Seeded corruption of MSCCL XML documents for hostile-input fuzzing.
+
+    Two families of corruption, chosen deterministically from
+    [(seed, index)]:
+
+    - {e byte-level}: truncation, span deletion/duplication, byte flips
+      into XML metacharacters, insertion of hostile tokens (broken
+      entities, stray [<], unterminated comments...) — exercises the
+      lexer's error paths;
+    - {e tree-level}: parse the document, then duplicate/drop/rename
+      attributes and elements, scramble ids, inject garbage integers or
+      unknown attributes, reorder children — exercises the
+      {!Ingest} schema and semantic validators (and its tolerance:
+      some tree mangles {e must} still be accepted).
+
+    Everything is a pure function of the inputs, so a failing corruption
+    is replayed exactly by its [(seed, index)] pair. *)
+
+val mangle : seed:int -> index:int -> string -> string * string
+(** [mangle ~seed ~index doc] is [(corrupted, description)].
+    [description] is a short human-readable account of the corruption
+    applied, for failure reports. Never raises. *)

@@ -178,9 +178,9 @@ let test_registry_roundtrip () =
               let s = Xml.to_string ir in
               let back =
                 try Xml.of_string s
-                with Xml.Parse_error m ->
+                with Xml.Parse_error e ->
                   Alcotest.failf "%s (%s): does not parse back: %s"
-                    spec.H.Registry.name label m
+                    spec.H.Registry.name label (Xml.error_to_string e)
               in
               if not (Ir.equal ir back) then
                 Alcotest.failf "%s (%s): round-trip changed the IR"
